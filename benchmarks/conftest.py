@@ -1,0 +1,23 @@
+"""Shared configuration for the figure-reproduction benches.
+
+Each bench runs one paper experiment end-to-end (via pytest-benchmark,
+one round), prints the paper-vs-measured table, and asserts the shape
+claims.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the result tables inline.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def emit(table) -> None:
+    """Print a result table (visible with -s / on failure)."""
+    print()
+    print(table.render())

@@ -1,0 +1,82 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_pid_forms(benchmark):
+    """Velocity form (paper) vs. positional form under a load surge."""
+    results = run_once(benchmark, lambda: ablations.run_pid_forms(scale=0.5))
+    velocity, positional = results["velocity"], results["positional"]
+    print()
+    for r in results.values():
+        print(
+            f"  {r.form:<10} mean {r.mean_latency * 1000:6.0f} ms  "
+            f"post-surge peak {r.post_surge_peak * 1000:6.0f} ms  "
+            f"time >2x setpoint {r.seconds_far_above_setpoint:4.0f} s"
+        )
+    # The velocity form recovers at least as well on every metric the
+    # paper motivates it with (Section 4.2.3).
+    assert velocity.post_surge_peak <= positional.post_surge_peak * 1.05
+    assert (
+        velocity.seconds_far_above_setpoint
+        <= positional.seconds_far_above_setpoint
+    )
+    assert velocity.mean_latency <= positional.mean_latency * 1.05
+
+
+def test_ablation_window_sizes(benchmark):
+    """The 3 s window vs. jittery 1 s and sluggish 9 s windows."""
+    results = run_once(benchmark, lambda: ablations.run_window_sizes(scale=0.5))
+    print()
+    for w, r in sorted(results.items()):
+        print(
+            f"  window {w:4.1f}s  latency {r.mean_latency * 1000:6.0f} "
+            f"± {r.latency_stddev * 1000:6.0f} ms  "
+            f"throttle stddev {r.throttle_stddev / 1e6:5.2f} MB/s"
+        )
+    # Shorter windows mean a noisier process variable and hence a
+    # jitterier throttle.
+    assert results[1.0].throttle_stddev >= results[9.0].throttle_stddev
+    # All windows complete the migration with a bounded mean latency.
+    for r in results.values():
+        assert r.mean_latency < 5.0
+
+
+def test_ablation_open_vs_closed(benchmark):
+    """Only the open generator exposes overload (Schroeder et al.)."""
+    results = run_once(benchmark, lambda: ablations.run_open_vs_closed(scale=0.5))
+    open_run, closed_run = results["open"], results["closed"]
+    print()
+    for r in results.values():
+        print(
+            f"  {r.generator:<7} mean {r.mean_latency * 1000:7.0f} ms  "
+            f"final third {r.final_third_latency * 1000:7.0f} ms  "
+            f"completed {r.completed:5d}  diverged {r.diverged}"
+        )
+    # Open system: latency diverges under the over-slack migration.
+    assert open_run.diverged
+    # Closed system: latency bounded (it self-throttles)...
+    assert not closed_run.diverged
+    assert closed_run.mean_latency < open_run.mean_latency
+    # ...but throughput silently collapses — the cautionary tale.
+    assert closed_run.completed < open_run.completed
+
+
+def test_ablation_gain_variants(benchmark):
+    """Paper's gains (small Ki, large Kd) vs. an integral-heavy set."""
+    results = run_once(benchmark, lambda: ablations.run_gain_variants(scale=0.5))
+    print()
+    for label, r in results.items():
+        print(
+            f"  {label:<28} latency {r.mean_latency * 1000:6.0f} "
+            f"± {r.latency_stddev * 1000:6.0f} ms  "
+            f"throttle stddev {r.throttle_stddev / 1e6:5.2f} MB/s  "
+            f"rate {r.average_rate_mb:4.1f} MB/s"
+        )
+    paper = results["paper (Kd large, Ki small)"]
+    integral_heavy = results["integral-heavy"]
+    # A large Ki overshoots and oscillates: worse latency control and a
+    # far jitterier throttle — the paper's stated reason for a small Ki.
+    assert paper.latency_stddev < integral_heavy.latency_stddev
+    assert paper.throttle_stddev < integral_heavy.throttle_stddev

@@ -1,0 +1,20 @@
+"""Figure 12: the throttle tracks (inversely) the workload's latency."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig12_timeseries
+
+
+def test_fig12_throttle_latency_timeseries(benchmark):
+    result = run_once(benchmark, lambda: fig12_timeseries.run(scale=1.0))
+    emit(result.table())
+
+    # "the throttling speed is roughly an inverse of transaction latency"
+    assert result.correlation < -0.2
+
+    # The throttle genuinely moves (it is a dynamic, not fixed, run).
+    throttle = result.throttle
+    assert max(throttle.values) > 2 * max(1.0, min(throttle.values))
+
+    # The controller stepped once per second for the whole migration.
+    duration = result.outcome.window_end - result.outcome.window_start
+    assert result.total_steps >= int(duration) - 2

@@ -1,0 +1,25 @@
+"""Figure 13a: +40 % workload surge mid-migration (full scale).
+
+Paper: the fixed throttle "rapidly degrades" after the surge while
+Slacker sheds migration speed and holds the 1500 ms setpoint.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig13a_dynamic_workload
+
+
+def test_fig13a_workload_surge(benchmark):
+    result = run_once(benchmark, lambda: fig13a_dynamic_workload.run(scale=1.0))
+    emit(result.table())
+
+    slacker_pre, slacker_post = result.phase_means(result.slacker)
+    fixed_pre, fixed_post = result.phase_means(result.fixed)
+
+    # After the surge the fixed throttle is clearly worse than Slacker.
+    assert fixed_post > 1.3 * slacker_post
+
+    # Slacker's post-surge latency stays in the setpoint's neighbourhood.
+    assert slacker_post <= 1.5 * result.setpoint
+
+    # Overall, Slacker is both faster-or-equal to recover and less noisy.
+    assert result.slacker.latency_stddev < result.fixed.latency_stddev

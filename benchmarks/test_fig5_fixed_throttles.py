@@ -1,0 +1,36 @@
+"""Figure 5: latency under fixed migration throttles (full scale).
+
+Paper anchors: baseline 79 ms; 4 MB/s -> 153 ms; 8 MB/s -> 410 ms;
+12 MB/s -> 720 ms with large swings, all bounded.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig5_throttle_sweep
+
+
+def test_fig5_fixed_throttle_sweep(benchmark):
+    result = run_once(benchmark, lambda: fig5_throttle_sweep.run(scale=1.0))
+    emit(result.table())
+
+    means = {rate: result.mean_ms(rate) for rate in (0, 4, 8, 12)}
+
+    # Baseline lands near the paper's 79 ms.
+    assert 50 <= means[0] <= 130
+
+    # Latency strictly rises with migration speed.
+    assert means[0] < means[4] < means[8] < means[12]
+
+    # The factors are in the paper's ballpark: 4 MB modest, 12 MB severe.
+    assert means[4] <= 3.0 * means[0]
+    assert means[12] >= 3.0 * means[0]
+
+    # 12 MB/s shows the paper's "large peaks and valleys".
+    assert result.stddev_ms(12) > result.stddev_ms(4)
+
+    # Durations fall as the throttle rises.
+    durations = [result.outcomes[r].duration for r in (4, 8, 12)]
+    assert durations == sorted(durations, reverse=True)
+
+    # Every live migration stays effectively zero-downtime.
+    for rate in (4, 8, 12):
+        assert result.outcomes[rate].migration.downtime < 1.0

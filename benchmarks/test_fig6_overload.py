@@ -1,0 +1,20 @@
+"""Figure 6: a 16 MB/s migration exceeds slack and latency diverges."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig6_overload
+
+
+def test_fig6_overload_divergence(benchmark):
+    result = run_once(benchmark, lambda: fig6_overload.run(scale=1.0))
+    emit(result.table())
+
+    # The definitive sign of exceeded slack: continuously rising latency.
+    assert result.diverging
+    assert result.slope_ms_per_s > 0
+
+    first, middle, last = result.thirds_ms
+    assert first < middle < last
+    assert last > 3 * first
+
+    # Mean latency is catastrophic compared to the case-study baseline.
+    assert result.outcome.mean_latency * 1000 > 1500

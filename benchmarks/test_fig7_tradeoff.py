@@ -1,0 +1,23 @@
+"""Figure 7: the migration-speed / workload-performance tradeoff."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig7_tradeoff
+
+
+def test_fig7_speed_performance_tradeoff(benchmark):
+    result = run_once(benchmark, lambda: fig7_tradeoff.run(scale=0.5))
+    emit(result.table())
+
+    rows = result.rows()
+    rates = [r for r, _, _, _ in rows]
+    means = [m for _, m, _, _ in rows]
+    stds = [s for _, _, s, _ in rows]
+    durations = [d for _, _, _, d in rows if d is not None]
+
+    # Mean latency rises monotonically with speed.
+    assert means == sorted(means)
+    # Latency instability rises from the slowest to the fastest run.
+    assert stds[-1] > stds[1]
+    # Migration duration falls monotonically with speed.
+    assert durations == sorted(durations, reverse=True)
+    assert rates == sorted(rates)

@@ -1,0 +1,91 @@
+"""Seed-robustness: the paper's shape claims must not be one lucky draw.
+
+Re-runs the headline comparisons across several RNG seeds (at reduced
+scale) and asserts the *orderings* hold for every seed.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core import CASE_STUDY, EVALUATION
+from repro.experiments import MigrationSpec, run_single_tenant, scaled_config
+from repro.resources.units import mb_per_sec
+
+SEEDS = (7, 42, 99)
+
+
+def fig5_orderings():
+    results = {}
+    for seed in SEEDS:
+        cfg = scaled_config(CASE_STUDY, 0.25, seed=seed)
+        base = run_single_tenant(cfg, MigrationSpec.none(), warmup=10,
+                                 baseline_duration=60)
+        rows = {0: base.mean_latency}
+        for rate in (4, 8, 12):
+            out = run_single_tenant(
+                cfg, MigrationSpec.fixed(mb_per_sec(rate)), warmup=10
+            )
+            rows[rate] = out.mean_latency
+        results[seed] = rows
+    return results
+
+
+def test_fig5_ordering_holds_across_seeds(benchmark):
+    results = run_once(benchmark, fig5_orderings)
+    print()
+    for seed, rows in results.items():
+        print("  seed", seed, " ".join(
+            f"{r}:{v * 1000:6.0f}ms" for r, v in sorted(rows.items())
+        ))
+    for seed, rows in results.items():
+        # Monotone latency in rate, for every seed.
+        means = [rows[r] for r in (0, 4, 8, 12)]
+        assert means == sorted(means), f"ordering broken for seed {seed}"
+        # 12 MB/s always clearly worse than baseline.
+        assert rows[12] > 2 * rows[0], f"interference too weak for seed {seed}"
+
+
+def slacker_vs_fixed():
+    # Full scale: short migrations are dominated by the controller's
+    # ramp-up transient, which masks the steady-state comparison the
+    # paper makes (its migrations run for minutes).
+    results = {}
+    for seed in SEEDS:
+        cfg = scaled_config(EVALUATION, 1.0, seed=seed)
+        dyn = run_single_tenant(cfg, MigrationSpec.dynamic(1.0), warmup=10)
+        fixed = run_single_tenant(
+            cfg, MigrationSpec.fixed(dyn.average_migration_rate), warmup=10
+        )
+        results[seed] = (dyn, fixed)
+    return results
+
+
+def test_slacker_predictable_fixed_is_not(benchmark):
+    """The operational comparison, stated honestly across seeds.
+
+    A fixed throttle's outcome depends on the burst realization it
+    happens to meet: near the knee it is sometimes comfortable and
+    sometimes catastrophic.  Slacker's outcome is *predictable* — the
+    controller pins latency near the setpoint whatever the realization
+    — and therefore at least as good in expectation.
+    """
+    results = run_once(benchmark, slacker_vs_fixed)
+    print()
+    slacker_means, fixed_means = [], []
+    for seed, (dyn, fixed) in results.items():
+        print(f"  seed {seed}: slacker {dyn.mean_latency * 1000:6.0f} ms "
+              f"vs fixed {fixed.mean_latency * 1000:6.0f} ms at "
+              f"{dyn.average_migration_rate / (1 << 20):4.1f} MB/s")
+        slacker_means.append(dyn.mean_latency)
+        fixed_means.append(fixed.mean_latency)
+        # Hard guarantees that must hold for every seed:
+        assert dyn.migration.downtime < 1.0
+        assert fixed.migration.downtime < 1.0
+        # Predictability: every Slacker run lands near the 1 s setpoint.
+        assert dyn.mean_latency < 2.0
+
+    # In expectation Slacker is at least as good as the equal-speed
+    # fixed throttle...
+    assert sum(slacker_means) <= sum(fixed_means) * 1.05
+    # ...and far more consistent: its cross-seed spread is smaller.
+    slacker_spread = max(slacker_means) / min(slacker_means)
+    fixed_spread = max(fixed_means) / min(fixed_means)
+    assert slacker_spread < fixed_spread

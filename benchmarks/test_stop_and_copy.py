@@ -1,0 +1,33 @@
+"""Section 2.3.1: stop-and-copy downtime scales with database size."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import stop_and_copy_downtime
+
+
+def test_stop_and_copy_downtime_scaling(benchmark):
+    result = run_once(
+        benchmark, lambda: stop_and_copy_downtime.run(sizes_mb=(128, 256, 512))
+    )
+    emit(result.table())
+
+    # Downtime grows roughly linearly with database size for both
+    # stop-and-copy variants.
+    for method in ("stop-and-copy", "dump-reimport"):
+        rows = result.downtimes(method)
+        sizes = [s for s, _ in rows]
+        downtimes = [d for _, d in rows]
+        assert downtimes == sorted(downtimes)
+        # 4x the data -> roughly 4x the downtime (2.5x-6x tolerated)
+        ratio = downtimes[-1] / downtimes[0]
+        assert 2.5 <= ratio <= 6.0
+
+    # Dump/reimport is strictly worse than the file-level copy.
+    for (size_a, file_dt), (size_b, dump_dt) in zip(
+        result.downtimes("stop-and-copy"), result.downtimes("dump-reimport")
+    ):
+        assert size_a == size_b
+        assert dump_dt > file_dt
+
+    # Live migration's freeze window is sub-second at every size.
+    for size, downtime in result.downtimes("live (8 MB/s)"):
+        assert downtime < 1.0

@@ -1,0 +1,84 @@
+"""Autonomous rebalancing: closing the paper's future-work loop.
+
+Slacker answers *how* to migrate; Section 8 leaves "when migrations are
+necessary, which tenants should be migrated, and where" as synergistic
+questions.  The :mod:`repro.placement` subpackage answers them: a load
+monitor snapshots every node, a hotspot detector decides *when*, a
+greedy chooser decides *which/where*, and the manager executes
+latency-aware migrations — no human in the loop.
+
+This example runs three tenants on one node, lets one of them catch a
+flash crowd, and watches the manager notice, migrate it away with the
+PID throttle, and restore the server.
+
+Run::
+
+    python examples/autonomous_rebalancing.py
+"""
+
+from repro import EVALUATION, Slacker
+from repro.analysis import summarize
+from repro.experiments import scaled_config
+from repro.placement import LatencyHotspotDetector, PlacementManager
+from repro.resources import MB
+
+
+def report(slacker, tenant_ids, start, end, label):
+    print(f"\n{label}")
+    for tenant_id in tenant_ids:
+        values = slacker.latency_series(tenant_id).window_values(start, end)
+        summary = summarize(values)
+        location = slacker.locate(tenant_id)
+        print(f"  tenant {tenant_id} on {location}: "
+              f"mean {summary.mean * 1000:6.0f} ms  "
+              f"p95 {summary.p95 * 1000:6.0f} ms")
+
+
+def main() -> None:
+    config = scaled_config(EVALUATION, 0.5)  # 512 MB tenants
+    slacker = Slacker(config, nodes=["n1", "n2"])
+    for tenant_id in (1, 2, 3):
+        slacker.add_tenant(
+            tenant_id, node="n1", workload=True,
+            arrival_rate=config.workload.arrival_rate / 3,
+        )
+
+    manager = PlacementManager(
+        slacker.cluster,
+        slacker.trace,
+        setpoint=1.5,  # migrations run with a 1500 ms latency target
+        detector=LatencyHotspotDetector(latency_threshold=0.6, patience=2),
+        interval=10.0,
+        cooldown=30.0,
+    )
+    slacker.env.process(manager.run())
+    print("placement manager running: snapshot every 10 s, "
+          "hot = worst tenant > 600 ms twice in a row")
+
+    t0 = slacker.now
+    slacker.advance(40.0)
+    report(slacker, (1, 2, 3), t0, slacker.now, "stable:")
+
+    print("\n>>> tenant 2 catches a flash crowd (5x arrivals)")
+    slacker.scale_workload(2, 5.0)
+    t1 = slacker.now
+    slacker.advance(40.0)
+    report(slacker, (1, 2, 3), t1, slacker.now, "hotspot forming:")
+
+    # Let the manager work.
+    slacker.advance(200.0)
+
+    print("\nmanager decisions:")
+    for decision in manager.stats.decisions:
+        mark = "executed" if decision.executed else "skipped"
+        extra = (f" ({decision.duration:.0f} s, downtime "
+                 f"{decision.downtime * 1000:.0f} ms)" if decision.executed else "")
+        print(f"  t={decision.time:5.0f}s  {decision.proposal.reason} "
+              f"-> {mark}{extra}")
+
+    t2 = slacker.now - 60.0
+    report(slacker, (1, 2, 3), t2, slacker.now, "after autonomous relief:")
+
+
+if __name__ == "__main__":
+    main()

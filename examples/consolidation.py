@@ -1,0 +1,70 @@
+"""Consolidation: drain a lightly-loaded server to power it down.
+
+The inverse of hotspot relief (Section 1.3: migration "can be used ...
+to consolidate multiple tenants onto a relatively idle server, thereby
+freeing extra servers that may be shut down").  Two tenants run on
+separate servers at low load; both are migrated onto one server, the
+other is left empty, and the collocated latencies are checked against
+the SLA.
+
+Run::
+
+    python examples/consolidation.py
+"""
+
+from repro import EVALUATION, LatencySla, Slacker
+from repro.analysis import summarize
+from repro.resources import MB
+
+
+def show_latency(slacker, tenant_id, start, end, label):
+    values = slacker.latency_series(tenant_id).window_values(start, end)
+    summary = summarize(values)
+    print(f"  {label}: mean {summary.mean * 1000:6.0f} ms  "
+          f"p95 {summary.p95 * 1000:6.0f} ms  ({summary.count} txns)")
+
+
+def main() -> None:
+    slacker = Slacker(EVALUATION, nodes=["rack-a", "rack-b"])
+    light_rate = EVALUATION.workload.arrival_rate / 4
+
+    slacker.add_tenant(1, node="rack-a", data_bytes=512 * MB,
+                       workload=True, arrival_rate=light_rate)
+    slacker.add_tenant(2, node="rack-b", data_bytes=512 * MB,
+                       workload=True, arrival_rate=light_rate)
+
+    t0 = slacker.now
+    slacker.advance(45.0)
+    print("before consolidation (one tenant per server):")
+    show_latency(slacker, 1, t0, slacker.now, "tenant 1 on rack-a")
+    show_latency(slacker, 2, t0, slacker.now, "tenant 2 on rack-b")
+
+    # Consolidate: move tenant 2 onto rack-a.  A generous setpoint is
+    # fine here — both servers have plenty of slack.
+    print("\nmigrating tenant 2: rack-b -> rack-a (setpoint 1500 ms)...")
+    result = slacker.migrate(2, "rack-a", setpoint=1.5)
+    print(f"  done in {result.duration:.1f} s at "
+          f"{result.average_rate / MB:.1f} MB/s, "
+          f"downtime {result.downtime * 1000:.0f} ms")
+
+    t1 = slacker.now
+    slacker.advance(45.0)
+    print("\nafter consolidation (both tenants on rack-a):")
+    show_latency(slacker, 1, t1, slacker.now, "tenant 1 on rack-a")
+    show_latency(slacker, 2, t1, slacker.now, "tenant 2 on rack-a")
+
+    sla = LatencySla(percentile=95, bound=2.0)
+    both_ok = all(
+        sla.satisfied_by(
+            slacker.latency_series(tid).window_values(t1, slacker.now)
+        )
+        for tid in (1, 2)
+    )
+    rack_b_tenants = len(slacker.cluster.node("rack-b").registry)
+    print(f"\nconsolidated SLA ({sla.describe()}) satisfied: {both_ok}")
+    print(f"rack-b now hosts {rack_b_tenants} tenants — "
+          "ready to be powered down or repurposed")
+
+
+if __name__ == "__main__":
+    main()

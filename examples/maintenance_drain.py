@@ -1,0 +1,82 @@
+"""Rolling maintenance: drain a server with queued, cost-checked migrations.
+
+A production chore the paper's machinery makes routine (Section 1.3's
+"system maintenance" motivation): take a server out of rotation by
+migrating every tenant off it, one latency-aware migration at a time,
+with the migration economics model confirming each move is worth it.
+
+Uses the node migration *queue* (strictly serialized: concurrent
+migrations from one server would each consume the slack the other's
+PID is trying to discover) and the admin console for the final check.
+
+Run::
+
+    python examples/maintenance_drain.py
+"""
+
+from repro import EVALUATION, LatencySla, Slacker
+from repro.core.sla import suggest_setpoint
+from repro.experiments import scaled_config
+from repro.middleware.admin import AdminConsole
+from repro.placement import CostParameters, MigrationCostBenefit
+from repro.resources import MB, mb_per_sec
+
+
+def main() -> None:
+    config = scaled_config(EVALUATION, 0.25)  # 256 MB tenants
+    slacker = Slacker(config, nodes=["old-box", "new-box"])
+    console = AdminConsole(slacker.cluster)
+    sla = LatencySla(percentile=95, bound=2.0)
+
+    for tenant_id in (1, 2, 3):
+        slacker.add_tenant(
+            tenant_id, node="old-box", workload=True,
+            arrival_rate=config.workload.arrival_rate / 3,
+        )
+
+    t0 = slacker.now
+    slacker.advance(40.0)
+    print(console.execute("status"))
+
+    # Pick the setpoint from the SLA and the observed baseline.
+    baseline = []
+    for tenant_id in (1, 2, 3):
+        baseline.extend(
+            slacker.latency_series(tenant_id).window_values(t0, slacker.now)
+        )
+    setpoint = suggest_setpoint(sla, baseline)
+    print(f"\nSLA {sla.describe()}; suggested setpoint "
+          f"{setpoint * 1000:.0f} ms")
+
+    # Sanity-check the economics of the drain.
+    cost_model = MigrationCostBenefit(sla, CostParameters(horizon=3600.0))
+    estimate = cost_model.estimate(
+        slacker.latency_series(1), now=slacker.now, lookback=40.0,
+        data_bytes=config.tenant.data_bytes,
+        expected_rate=mb_per_sec(10), setpoint=setpoint,
+    )
+    print(f"per-tenant migration cost ~{estimate.cost_of_migrating:.1f} "
+          f"penalty units, ~{estimate.expected_migration_seconds:.0f} s each")
+
+    # Queue all three drains; the node runs them strictly one at a time.
+    node = slacker.cluster.node("old-box")
+    print("\nqueueing 3 migrations (serialized by the node)...")
+    events = [
+        node.enqueue_migration(tenant_id, "new-box", setpoint=setpoint)
+        for tenant_id in (1, 2, 3)
+    ]
+    for tenant_id, event in zip((1, 2, 3), events):
+        result = slacker.env.run(until=event)
+        print(f"  tenant {tenant_id}: {result.duration:5.1f} s at "
+              f"{result.average_rate / MB:4.1f} MB/s, "
+              f"downtime {result.downtime * 1000:4.0f} ms")
+
+    slacker.advance(10.0)
+    print()
+    print(console.execute("status"))
+    drained = len(slacker.cluster.node("old-box").registry) == 0
+    print(f"\nold-box drained: {drained} — safe to patch/reboot/retire")
+
+
+if __name__ == "__main__":
+    main()

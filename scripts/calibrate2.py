@@ -1,0 +1,34 @@
+"""Second calibration pass: bursty 4MB chunks."""
+import time
+from repro.core.config import ExperimentConfig, WorkloadConfig, TenantConfig
+from repro.resources import ServerParams, DiskParams, CpuParams, NetworkParams, MB, GB, mb_per_sec
+from repro.experiments import MigrationSpec, run_single_tenant
+
+def make_cfg(lam, buf, chunk_mb=4, seq=24):
+    server = ServerParams(cpu=CpuParams(cores=4),
+                          disk=DiskParams(seek_time=5e-3, sequential_bandwidth=seq*MB, random_bandwidth=60*MB),
+                          network=NetworkParams())
+    return ExperimentConfig(workload=WorkloadConfig(arrival_rate=lam),
+                            tenant=TenantConfig(data_bytes=GB, buffer_bytes=buf),
+                            server=server, chunk_bytes=int(chunk_mb*MB), seed=42)
+
+t0=time.time()
+print("== CASE STUDY candidates (anchors 79/153/410/720-swingy/diverge) ==")
+for lam in (6, 7, 8):
+    cfg = make_cfg(lam, 256*MB)
+    base = run_single_tenant(cfg, MigrationSpec.none(), warmup=15, baseline_duration=120)
+    row = [f"base:{base.mean_latency*1000:5.0f}±{base.latency_stddev*1000:4.0f}"]
+    for r in (4, 8, 12, 16):
+        out = run_single_tenant(cfg, MigrationSpec.fixed(mb_per_sec(r)), warmup=15)
+        row.append(f"{r}MB:{out.mean_latency*1000:6.0f}±{out.latency_stddev*1000:5.0f}({out.duration:.0f}s)")
+    print(f"lam={lam}: " + " ".join(row), f"[{time.time()-t0:.0f}s]")
+
+print("== EVAL candidates (knee ~25; latencies ~500 @5MB to ~8000 @30MB) ==")
+for lam in (2.5, 3.0, 3.5):
+    cfg = make_cfg(lam, 128*MB)
+    base = run_single_tenant(cfg, MigrationSpec.none(), warmup=15, baseline_duration=120)
+    row = [f"base:{base.mean_latency*1000:5.0f}"]
+    for r in (5, 10, 15, 20, 25, 30):
+        out = run_single_tenant(cfg, MigrationSpec.fixed(mb_per_sec(r)), warmup=15)
+        row.append(f"{r}:{out.mean_latency*1000:6.0f}")
+    print(f"lam={lam}: " + " ".join(row), f"[{time.time()-t0:.0f}s]")

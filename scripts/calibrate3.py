@@ -1,0 +1,30 @@
+"""Third calibration pass: eval preset curve steepness + PID sweep."""
+import time
+from repro.core.config import ExperimentConfig, WorkloadConfig, TenantConfig
+from repro.resources import ServerParams, DiskParams, CpuParams, NetworkParams, MB, GB, mb_per_sec
+from repro.experiments import MigrationSpec, run_single_tenant
+
+def make_cfg(lam, buf, chunk_mb, seq=24, max_rate=24):
+    server = ServerParams(cpu=CpuParams(cores=4),
+                          disk=DiskParams(seek_time=5e-3, sequential_bandwidth=seq*MB, random_bandwidth=60*MB),
+                          network=NetworkParams())
+    return ExperimentConfig(workload=WorkloadConfig(arrival_rate=lam),
+                            tenant=TenantConfig(data_bytes=GB, buffer_bytes=buf),
+                            server=server, chunk_bytes=int(chunk_mb*MB),
+                            max_migration_rate=max_rate*MB, seed=42)
+
+t0=time.time()
+for chunk_mb, lam in ((8, 3.5), (8, 5.0), (16, 3.5), (16, 5.0)):
+    cfg = make_cfg(lam, 128*MB, chunk_mb)
+    base = run_single_tenant(cfg, MigrationSpec.none(), warmup=15, baseline_duration=120)
+    row = [f"base:{base.mean_latency*1000:5.0f}"]
+    for r in (3, 6, 9, 12, 15, 18, 21, 24):
+        out = run_single_tenant(cfg, MigrationSpec.fixed(mb_per_sec(r)), warmup=15)
+        row.append(f"{r}:{out.mean_latency*1000:5.0f}({out.average_migration_rate/MB:4.1f})")
+    print(f"chunk={chunk_mb} lam={lam}: " + " ".join(row), f"[{time.time()-t0:.0f}s]")
+
+print("== dynamic sweep (chunk=8, lam=5) ==")
+cfg = make_cfg(5.0, 128*MB, 8)
+for sp in (0.5, 1.0, 1.5, 2.5, 3.5, 5.0):
+    out = run_single_tenant(cfg, MigrationSpec.dynamic(sp), warmup=15)
+    print(f"setpoint {sp*1000:4.0f}ms -> avg rate {out.average_migration_rate/MB:5.1f} MB/s  achieved lat {out.mean_latency*1000:5.0f}±{out.latency_stddev*1000:4.0f} ms  dur {out.duration:5.0f}s  [{time.time()-t0:.0f}s]")

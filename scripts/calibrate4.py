@@ -1,0 +1,27 @@
+"""Fourth pass: bursty workloads; fixed curve vs slacker curve."""
+import time
+from repro.core.config import ExperimentConfig, WorkloadConfig, TenantConfig
+from repro.resources import ServerParams, DiskParams, CpuParams, NetworkParams, MB, GB, mb_per_sec
+from repro.experiments import MigrationSpec, run_single_tenant
+
+def make_cfg(lam, buf, chunk_mb, burst=2.5, seq=24, max_rate=24):
+    server = ServerParams(cpu=CpuParams(cores=4),
+                          disk=DiskParams(seek_time=5e-3, sequential_bandwidth=seq*MB, random_bandwidth=60*MB),
+                          network=NetworkParams())
+    return ExperimentConfig(workload=WorkloadConfig(arrival_rate=lam, burst_factor=burst),
+                            tenant=TenantConfig(data_bytes=GB, buffer_bytes=buf),
+                            server=server, chunk_bytes=int(chunk_mb*MB),
+                            max_migration_rate=max_rate*MB, seed=42)
+
+t0=time.time()
+for chunk_mb, lam in ((2, 4.0), (8, 4.0)):
+    cfg = make_cfg(lam, 128*MB, chunk_mb)
+    base = run_single_tenant(cfg, MigrationSpec.none(), warmup=15, baseline_duration=120)
+    row = [f"base:{base.mean_latency*1000:5.0f}"]
+    for r in (3, 6, 9, 12, 15, 18):
+        out = run_single_tenant(cfg, MigrationSpec.fixed(mb_per_sec(r)), warmup=15)
+        row.append(f"{r}:{out.mean_latency*1000:5.0f}±{out.latency_stddev*1000:5.0f}")
+    print(f"FIXED chunk={chunk_mb} lam={lam}: " + " ".join(row), f"[{time.time()-t0:.0f}s]")
+    for sp in (0.5, 1.0, 2.5, 5.0):
+        out = run_single_tenant(cfg, MigrationSpec.dynamic(sp), warmup=15)
+        print(f"  DYN sp={sp*1000:4.0f} -> rate {out.average_migration_rate/MB:5.1f}  lat {out.mean_latency*1000:5.0f}±{out.latency_stddev*1000:5.0f}  dur {out.duration:4.0f}s  [{time.time()-t0:.0f}s]")

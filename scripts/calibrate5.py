@@ -1,0 +1,39 @@
+"""Fifth pass: steady-state PID accuracy + case-study with bursts."""
+import time
+from repro.core.config import ExperimentConfig, WorkloadConfig, TenantConfig
+from repro.resources import ServerParams, DiskParams, CpuParams, NetworkParams, MB, GB, mb_per_sec
+from repro.experiments import MigrationSpec, run_single_tenant
+
+def make_cfg(lam, buf, chunk_mb=2, burst=2.5, seq=24, max_rate=24, seed=42):
+    server = ServerParams(cpu=CpuParams(cores=4),
+                          disk=DiskParams(seek_time=5e-3, sequential_bandwidth=seq*MB, random_bandwidth=60*MB),
+                          network=NetworkParams())
+    return ExperimentConfig(workload=WorkloadConfig(arrival_rate=lam, burst_factor=burst),
+                            tenant=TenantConfig(data_bytes=GB, buffer_bytes=buf),
+                            server=server, chunk_bytes=int(chunk_mb*MB),
+                            max_migration_rate=max_rate*MB, seed=seed)
+
+t0 = time.time()
+print("== steady-state accuracy (eval: lam=4, chunk=2) ==")
+cfg = make_cfg(4.0, 128*MB)
+for sp in (0.5, 1.0, 1.5, 2.5, 3.5, 5.0):
+    out = run_single_tenant(cfg, MigrationSpec.dynamic(sp), warmup=15)
+    # steady state: from first time window latency crossed the setpoint
+    ctrl = out.controller_latency_series
+    cross = next((t for t, v in ctrl if v >= sp), None)
+    if cross is None:
+        cross = out.window_start
+    vals = out.tenants[0].latency.window_values(cross, out.window_end)
+    ss_mean = sum(vals)/len(vals) if vals else float("nan")
+    print(f"sp={sp*1000:4.0f}: full {out.mean_latency*1000:5.0f} ({(out.mean_latency/sp-1)*100:+5.1f}%)"
+          f"  steady {ss_mean*1000:5.0f} ({(ss_mean/sp-1)*100:+5.1f}%)  rate {out.average_migration_rate/MB:5.1f}  [{time.time()-t0:.0f}s]")
+
+print("== case study with bursts (anchors 79/153/410/720-swingy/diverge) ==")
+for lam in (5.5, 6.5):
+    cfg = make_cfg(lam, 256*MB)
+    base = run_single_tenant(cfg, MigrationSpec.none(), warmup=15, baseline_duration=180)
+    row = [f"base:{base.mean_latency*1000:5.0f}±{base.latency_stddev*1000:4.0f}"]
+    for r in (4, 8, 12, 16):
+        out = run_single_tenant(cfg, MigrationSpec.fixed(mb_per_sec(r)), warmup=15)
+        row.append(f"{r}:{out.mean_latency*1000:6.0f}±{out.latency_stddev*1000:5.0f}")
+    print(f"lam={lam}: " + " ".join(row), f"[{time.time()-t0:.0f}s]")

@@ -1,0 +1,40 @@
+"""Sixth pass: final preset selection."""
+import time
+from repro.core.config import ExperimentConfig, WorkloadConfig, TenantConfig
+from repro.resources import ServerParams, DiskParams, CpuParams, NetworkParams, MB, GB, mb_per_sec
+from repro.experiments import MigrationSpec, run_single_tenant
+
+def make_cfg(lam, buf, chunk_mb=2, burst=2.5, seq=24, max_rate=24, seed=42):
+    server = ServerParams(cpu=CpuParams(cores=4),
+                          disk=DiskParams(seek_time=5e-3, sequential_bandwidth=seq*MB, random_bandwidth=60*MB),
+                          network=NetworkParams())
+    return ExperimentConfig(workload=WorkloadConfig(arrival_rate=lam, burst_factor=burst),
+                            tenant=TenantConfig(data_bytes=GB, buffer_bytes=buf),
+                            server=server, chunk_bytes=int(chunk_mb*MB),
+                            max_migration_rate=max_rate*MB, seed=seed)
+
+t0 = time.time()
+print("== case-study candidates ==")
+for lam, burst, chunk in ((6.0, 2.5, 2), (6.5, 2.0, 2), (6.0, 2.5, 4), (6.2, 2.2, 2)):
+    cfg = make_cfg(lam, 256*MB, chunk_mb=chunk, burst=burst)
+    base = run_single_tenant(cfg, MigrationSpec.none(), warmup=15, baseline_duration=180)
+    row = [f"base:{base.mean_latency*1000:4.0f}"]
+    for r in (4, 8, 12, 16):
+        out = run_single_tenant(cfg, MigrationSpec.fixed(mb_per_sec(r)), warmup=15)
+        row.append(f"{r}:{out.mean_latency*1000:6.0f}±{out.latency_stddev*1000:5.0f}")
+    print(f"lam={lam} burst={burst} chunk={chunk}: " + " ".join(row), f"[{time.time()-t0:.0f}s]")
+
+print("== eval candidates: wider dynamic sweep? chunk=4 ==")
+for lam, chunk in ((3.5, 4), (4.0, 4)):
+    cfg = make_cfg(lam, 128*MB, chunk_mb=chunk)
+    base = run_single_tenant(cfg, MigrationSpec.none(), warmup=15, baseline_duration=120)
+    row = [f"base:{base.mean_latency*1000:4.0f}"]
+    for r in (5, 10, 15, 18, 21):
+        out = run_single_tenant(cfg, MigrationSpec.fixed(mb_per_sec(r)), warmup=15)
+        row.append(f"{r}:{out.mean_latency*1000:5.0f}")
+    print(f"lam={lam} chunk={chunk} FIXED: " + " ".join(row), f"[{time.time()-t0:.0f}s]")
+    drow = []
+    for sp in (0.5, 1.0, 2.5, 5.0):
+        out = run_single_tenant(cfg, MigrationSpec.dynamic(sp), warmup=15)
+        drow.append(f"sp{sp*1000:.0f}:{out.average_migration_rate/MB:5.1f}MB/s")
+    print(f"   DYN: " + " ".join(drow), f"[{time.time()-t0:.0f}s]")

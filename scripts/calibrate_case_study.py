@@ -1,0 +1,28 @@
+"""Calibration sweep for the CASE_STUDY preset (Section 3 anchors)."""
+import itertools, time
+from dataclasses import replace
+from repro.core import CASE_STUDY
+from repro.core.config import ExperimentConfig, WorkloadConfig, TenantConfig
+from repro.resources import ServerParams, DiskParams, CpuParams, NetworkParams, MB, GB, KB, mb_per_sec
+from repro.experiments import MigrationSpec, run_single_tenant
+
+def probe(seq_bw, chunk_kb, lam, seek_ms=5.0, db=GB, buf=256*MB):
+    server = ServerParams(cpu=CpuParams(cores=4),
+                          disk=DiskParams(seek_time=seek_ms*1e-3, sequential_bandwidth=seq_bw*MB, random_bandwidth=60*MB),
+                          network=NetworkParams())
+    cfg = ExperimentConfig(workload=WorkloadConfig(arrival_rate=lam),
+                           tenant=TenantConfig(data_bytes=db, buffer_bytes=buf),
+                           server=server, chunk_bytes=chunk_kb*KB, seed=42)
+    base = run_single_tenant(cfg, MigrationSpec.none(), warmup=15, baseline_duration=120)
+    rows = [("base", base.mean_latency*1000, base.latency_stddev*1000, base.duration)]
+    for r in (4, 8, 12, 16):
+        out = run_single_tenant(cfg, MigrationSpec.fixed(mb_per_sec(r)), warmup=15)
+        rows.append((f"{r}MB", out.mean_latency*1000, out.latency_stddev*1000, out.duration))
+    return rows
+
+t0=time.time()
+for seq_bw, chunk_kb, lam in itertools.product((24, 32), (512, 1024, 2048), (7, 9, 11)):
+    rows = probe(seq_bw, chunk_kb, lam)
+    desc = " | ".join(f"{n}:{m:5.0f}±{s:4.0f}" for n, m, s, d in rows)
+    durs = "/".join(f"{d:.0f}" for _, _, _, d in rows)
+    print(f"seq={seq_bw} chunk={chunk_kb}K lam={lam}: {desc}  dur={durs}  [{time.time()-t0:.0f}s]")

@@ -1,0 +1,76 @@
+"""Regenerate every experiment and dump results to a directory.
+
+Writes, for each experiment id:
+
+* ``results/<id>.txt`` — the paper-style result table(s), and
+* ``results/<id>.csv`` — the same table as CSV, plus
+* ``results/<id>.latency.csv`` — raw latency series where available.
+
+Usage::
+
+    python scripts/run_all_experiments.py [--scale 1.0] [--out results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.analysis.export import series_to_csv, table_to_csv, write_csv
+from repro.experiments import REGISTRY
+
+
+def tables_of(result):
+    if hasattr(result, "table"):
+        return [result.table()]
+    if hasattr(result, "table_11a"):
+        return [result.table_11a(), result.table_11b()]
+    return []
+
+
+def latency_series_of(result):
+    outcome = getattr(result, "outcome", None)
+    if outcome is not None:
+        return [t.latency for t in outcome.tenants]
+    slacker = getattr(result, "slacker", None)
+    if slacker is not None and hasattr(slacker, "tenants"):
+        return [t.latency for t in slacker.tenants]
+    return []
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--out", default="results")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of experiment ids")
+    args = parser.parse_args()
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    ids = args.only or list(REGISTRY)
+    for experiment_id in ids:
+        module = REGISTRY[experiment_id]
+        started = time.time()
+        kwargs = {} if experiment_id == "stop-and-copy" else {"scale": args.scale}
+        result = module.run(**kwargs)
+        elapsed = time.time() - started
+
+        stem = experiment_id.replace("/", "-")
+        tables = tables_of(result)
+        text = "\n\n".join(t.render() for t in tables)
+        (out_dir / f"{stem}.txt").write_text(text + "\n")
+        if tables:
+            write_csv(str(out_dir / f"{stem}.csv"), table_to_csv(tables[0]))
+        series = latency_series_of(result)
+        if series:
+            write_csv(
+                str(out_dir / f"{stem}.latency.csv"), series_to_csv(series)
+            )
+        print(f"{experiment_id:<18} {elapsed:6.1f} s wall -> {out_dir}/{stem}.*")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Thin shim so `pip install -e .` works without network access.
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

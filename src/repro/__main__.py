@@ -1,0 +1,117 @@
+"""Command-line entry point: run the paper's experiments by id.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro run fig5             # regenerate one figure
+    python -m repro run fig11 --scale .5 # faster, shape-preserving
+    python -m repro run all              # everything (a few minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import REGISTRY
+
+#: One-line description per experiment id.
+DESCRIPTIONS = {
+    "fig5": "latency under fixed throttles (case study, Figures 5a-5d)",
+    "fig6": "slack exceeded: 16 MB/s overload divergence (Figure 6)",
+    "fig7": "migration speed vs. performance tradeoff (Figure 7)",
+    "fig11": "fixed vs. Slacker sweeps: knee, plateau, tracking (Figure 11)",
+    "fig12": "throttle/latency time series at 1000 ms setpoint (Figure 12)",
+    "fig13a": "+40% workload surge mid-migration (Figure 13a)",
+    "fig13b": "migrating 1 of 5 collocated tenants (Figure 13b)",
+    "stop-and-copy": "downtime vs. database size (Section 2.3.1)",
+    "ext-source-target": "max(source, target) throttling (Section 6)",
+}
+
+
+def _render(experiment_id: str, result) -> str:
+    if hasattr(result, "table"):
+        return result.table().render()
+    if hasattr(result, "table_11a"):
+        return result.table_11a().render() + "\n\n" + result.table_11b().render()
+    return repr(result)
+
+
+def cmd_list() -> int:
+    width = max(len(eid) for eid in REGISTRY)
+    for eid in REGISTRY:
+        print(f"  {eid.ljust(width)}  {DESCRIPTIONS.get(eid, '')}")
+    return 0
+
+
+def cmd_run(
+    experiment_ids: list[str],
+    scale: float,
+    seed: int | None,
+    config_path: str | None = None,
+) -> int:
+    if experiment_ids == ["all"]:
+        experiment_ids = list(REGISTRY)
+    unknown = [eid for eid in experiment_ids if eid not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use `python -m repro list`", file=sys.stderr)
+        return 2
+    config = None
+    if config_path is not None:
+        from .core.configfile import ConfigFileError, load_config
+
+        try:
+            config = load_config(config_path)
+        except ConfigFileError as exc:
+            print(f"config error: {exc}", file=sys.stderr)
+            return 2
+    for eid in experiment_ids:
+        module = REGISTRY[eid]
+        started = time.time()
+        kwargs = {}
+        # stop-and-copy sweeps sizes rather than scaling one tenant
+        if eid != "stop-and-copy":
+            kwargs["scale"] = scale
+        if seed is not None:
+            kwargs["seed"] = seed
+        if config is not None:
+            kwargs["config"] = config
+        result = module.run(**kwargs)
+        print(_render(eid, result))
+        print(f"[{eid}: {time.time() - started:.1f} s wall]\n")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Slacker (EDBT 2012) reproduction: run paper experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runner = sub.add_parser("run", help="run experiments by id (or 'all')")
+    runner.add_argument("experiments", nargs="+", metavar="ID")
+    runner.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="database-size scale factor (default 1.0 = the paper's 1 GB)",
+    )
+    runner.add_argument(
+        "--seed", type=int, default=None, help="override the preset RNG seed"
+    )
+    runner.add_argument(
+        "--config",
+        default=None,
+        help="TOML config file overriding the experiment preset",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    return cmd_run(args.experiments, args.scale, args.seed, args.config)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Analysis utilities: summary statistics and paper-style text tables."""
+
+from .compare import (
+    ConfidenceInterval,
+    MannWhitneyResult,
+    bootstrap_difference,
+    bootstrap_mean_ci,
+    mann_whitney_u,
+)
+from .export import (
+    outcome_to_dict,
+    series_to_csv,
+    table_to_csv,
+    write_csv,
+    write_json,
+)
+from .plot import ascii_chart, sparkline
+from .report import Table, format_ms, format_rate, format_seconds
+from .stats import (
+    LatencySummary,
+    coefficient_of_variation,
+    is_diverging,
+    summarize,
+    trend_slope,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "LatencySummary",
+    "MannWhitneyResult",
+    "bootstrap_difference",
+    "bootstrap_mean_ci",
+    "mann_whitney_u",
+    "Table",
+    "ascii_chart",
+    "coefficient_of_variation",
+    "format_ms",
+    "format_rate",
+    "format_seconds",
+    "is_diverging",
+    "outcome_to_dict",
+    "series_to_csv",
+    "sparkline",
+    "summarize",
+    "table_to_csv",
+    "trend_slope",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,168 @@
+"""Statistical comparison of experiment outcomes.
+
+"Who wins" claims deserve more than two point estimates.  This module
+provides the two tools the benches and robustness analyses lean on,
+dependency-free and fully deterministic (callers pass the RNG):
+
+* :func:`bootstrap_mean_ci` / :func:`bootstrap_difference` —
+  percentile-bootstrap confidence intervals for a mean and for the
+  difference of two means (e.g. Slacker's mean latency minus the
+  fixed throttle's at equal speed);
+* :func:`mann_whitney_u` — the rank-sum test with a normal
+  approximation, for distribution-level comparisons where means are
+  dominated by tails.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = [
+    "ConfidenceInterval",
+    "bootstrap_mean_ci",
+    "bootstrap_difference",
+    "MannWhitneyResult",
+    "mann_whitney_u",
+]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided percentile-bootstrap interval for a statistic."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def excludes_zero(self) -> bool:
+        """True when zero lies outside the interval (a 'significant'
+        difference at the interval's confidence level)."""
+        return not (self.low <= 0.0 <= self.high)
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: Optional[random.Random] = None,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI for the mean of ``values``."""
+    if not values:
+        raise ValueError("need at least one value")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 100:
+        raise ValueError(f"n_resamples must be >= 100, got {n_resamples}")
+    rng = rng or random.Random(0)
+    n = len(values)
+    means = sorted(
+        _mean([values[rng.randrange(n)] for _ in range(n)])
+        for _ in range(n_resamples)
+    )
+    alpha = (1 - confidence) / 2
+    lo_index = int(alpha * n_resamples)
+    hi_index = min(n_resamples - 1, int((1 - alpha) * n_resamples))
+    return ConfidenceInterval(
+        estimate=_mean(values),
+        low=means[lo_index],
+        high=means[hi_index],
+        confidence=confidence,
+    )
+
+
+def bootstrap_difference(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: Optional[random.Random] = None,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI for mean(a) - mean(b).
+
+    If the interval excludes zero, the difference is significant at
+    the chosen confidence level.
+    """
+    if not a or not b:
+        raise ValueError("both samples must be non-empty")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = rng or random.Random(0)
+    na, nb = len(a), len(b)
+    diffs = sorted(
+        _mean([a[rng.randrange(na)] for _ in range(na)])
+        - _mean([b[rng.randrange(nb)] for _ in range(nb)])
+        for _ in range(n_resamples)
+    )
+    alpha = (1 - confidence) / 2
+    lo_index = int(alpha * n_resamples)
+    hi_index = min(n_resamples - 1, int((1 - alpha) * n_resamples))
+    return ConfidenceInterval(
+        estimate=_mean(a) - _mean(b),
+        low=diffs[lo_index],
+        high=diffs[hi_index],
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class MannWhitneyResult:
+    """Outcome of a two-sided Mann-Whitney U test."""
+
+    u_statistic: float
+    z_score: float
+    p_value: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def _rank(values: list[float]) -> list[float]:
+    """Ranks with ties shared (average rank)."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        shared = (i + j) / 2 + 1  # ranks are 1-based
+        for k in range(i, j + 1):
+            ranks[order[k]] = shared
+        i = j + 1
+    return ranks
+
+
+def mann_whitney_u(a: Sequence[float], b: Sequence[float]) -> MannWhitneyResult:
+    """Two-sided Mann-Whitney U test (normal approximation).
+
+    Suitable for the sample sizes the experiments produce (hundreds of
+    transaction latencies); for tiny samples prefer an exact table.
+    """
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("each sample needs at least two values")
+    na, nb = len(a), len(b)
+    ranks = _rank(list(a) + list(b))
+    rank_sum_a = sum(ranks[:na])
+    u_a = rank_sum_a - na * (na + 1) / 2
+    u_b = na * nb - u_a
+    u = min(u_a, u_b)
+    mean_u = na * nb / 2
+    std_u = math.sqrt(na * nb * (na + nb + 1) / 12)
+    if std_u == 0:
+        return MannWhitneyResult(u_statistic=u, z_score=0.0, p_value=1.0)
+    z = (u - mean_u) / std_u
+    # two-sided p from the normal tail: p = erfc(|z| / sqrt(2))
+    p = math.erfc(abs(z) / math.sqrt(2))
+    return MannWhitneyResult(u_statistic=u, z_score=z, p_value=p)

@@ -1,0 +1,124 @@
+"""Terminal plots: render time series as ASCII charts.
+
+The reproduction runs in plot-less environments, so the "figures" are
+rendered as text.  :func:`ascii_chart` draws one or two series in a
+fixed-size character grid — enough to *see* Figure 12's throttle
+tracking inversely against latency, or Figure 6's divergence, straight
+from a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..simulation.trace import Series
+
+__all__ = ["ascii_chart", "sparkline"]
+
+#: Eight-level block characters for sparklines.
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line block-character rendering of a value sequence.
+
+    Values are bucket-averaged down to ``width`` characters and mapped
+    onto eight block heights between the min and max.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    values = [v for v in values if math.isfinite(v)]
+    if not values:
+        return ""
+    # Bucket-average down to the target width.
+    if len(values) > width:
+        bucket = len(values) / width
+        averaged = []
+        for i in range(width):
+            chunk = values[int(i * bucket): int((i + 1) * bucket)] or [
+                values[min(int(i * bucket), len(values) - 1)]
+            ]
+            averaged.append(sum(chunk) / len(chunk))
+        values = averaged
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return _BLOCKS[0] * len(values)
+    out = []
+    for v in values:
+        level = int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[level])
+    return "".join(out)
+
+
+def _sample(series: Series, start: float, end: float, columns: int) -> list[float]:
+    """Bucket-mean the series into ``columns`` columns over [start, end)."""
+    step = (end - start) / columns
+    out = []
+    for i in range(columns):
+        values = series.window_values(start + i * step, start + (i + 1) * step)
+        out.append(sum(values) / len(values) if values else math.nan)
+    return out
+
+
+def ascii_chart(
+    primary: Series,
+    secondary: Optional[Series] = None,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    width: int = 72,
+    height: int = 12,
+    primary_label: str = "*",
+    secondary_label: str = "o",
+) -> str:
+    """Draw one or two series in a character grid.
+
+    Each series is normalized to its own [min, max] so two series with
+    different units (MB/s vs. ms) can share the canvas, as the paper's
+    Figure 12 does.  The primary plots with ``*``, the secondary with
+    ``o`` (``#`` where they overlap).
+    """
+    if width <= 4 or height <= 2:
+        raise ValueError("width must be > 4 and height > 2")
+    if not len(primary):
+        return "(no data)"
+    start = primary.times[0] if start is None else start
+    end = primary.times[-1] if end is None else end
+    if end <= start:
+        raise ValueError(f"end {end} must be after start {start}")
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def paint(series: Series, mark: str) -> tuple[float, float]:
+        samples = _sample(series, start, end, width)
+        finite = [v for v in samples if math.isfinite(v)]
+        if not finite:
+            return (math.nan, math.nan)
+        lo, hi = min(finite), max(finite)
+        span = hi - lo or 1.0
+        for x, value in enumerate(samples):
+            if not math.isfinite(value):
+                continue
+            y = int((value - lo) / span * (height - 1))
+            row = height - 1 - y
+            grid[row][x] = "#" if grid[row][x] not in (" ", mark) else mark
+        return (lo, hi)
+
+    p_lo, p_hi = paint(primary, primary_label)
+    legend = [
+        f"{primary_label} {primary.name}  "
+        f"[{p_lo:.3g} .. {p_hi:.3g}]"
+    ]
+    if secondary is not None and len(secondary):
+        s_lo, s_hi = paint(secondary, secondary_label)
+        legend.append(
+            f"{secondary_label} {secondary.name}  [{s_lo:.3g} .. {s_hi:.3g}]"
+        )
+
+    lines = ["+" + "-" * width + "+"]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append("+" + "-" * width + "+")
+    lines.append(f" t = {start:.0f}s ... {end:.0f}s")
+    lines.extend(" " + item for item in legend)
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Plain-text result tables in the paper's terms.
+
+Every figure driver renders its measurements as a table with a
+``paper`` column next to the ``measured`` column so a reader can judge
+the reproduction at a glance.  No plotting dependencies: the "figures"
+are reported as the series/rows a plot would be drawn from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+__all__ = ["Table", "format_ms", "format_rate", "format_seconds"]
+
+
+def format_ms(seconds: Optional[float]) -> str:
+    """Format a latency in seconds as milliseconds."""
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1000:.0f} ms"
+
+
+def format_rate(bytes_per_sec: Optional[float]) -> str:
+    """Format a rate in bytes/second as MB/sec."""
+    if bytes_per_sec is None:
+        return "-"
+    return f"{bytes_per_sec / (1024 * 1024):.1f} MB/s"
+
+
+def format_seconds(seconds: Optional[float]) -> str:
+    """Format a duration."""
+    if seconds is None:
+        return "-"
+    return f"{seconds:.1f} s"
+
+
+@dataclass
+class Table:
+    """A fixed-column text table with a title and optional notes."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a row; must match the column count."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote line."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """The table as aligned plain text."""
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(str(cell)))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        lines = [self.title, "=" * len(self.title), fmt(headers)]
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

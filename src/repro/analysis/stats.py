@@ -1,0 +1,132 @@
+"""Statistics helpers for experiment analysis.
+
+Small, dependency-light utilities shared by the figure drivers and
+benches: summary statistics, divergence detection (Figure 6's
+"latency continuously increases" criterion), and series comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..simulation.trace import Series
+
+__all__ = [
+    "LatencySummary",
+    "summarize",
+    "is_diverging",
+    "trend_slope",
+    "coefficient_of_variation",
+]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of one latency sample (seconds)."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+
+    def as_millis(self) -> dict[str, float]:
+        """The summary with all latency fields converted to ms."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * 1000,
+            "stddev_ms": self.stddev * 1000,
+            "min_ms": self.minimum * 1000,
+            "max_ms": self.maximum * 1000,
+            "p50_ms": self.p50 * 1000,
+            "p90_ms": self.p90 * 1000,
+            "p95_ms": self.p95 * 1000,
+            "p99_ms": self.p99 * 1000,
+        }
+
+
+def _percentile(ordered: Sequence[float], pct: float) -> float:
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def summarize(latencies: Sequence[float]) -> LatencySummary:
+    """Full summary of a latency sample (NaNs if empty)."""
+    if not latencies:
+        nan = math.nan
+        return LatencySummary(0, nan, nan, nan, nan, nan, nan, nan, nan)
+    ordered = sorted(latencies)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    stddev = math.sqrt(sum((v - mean) ** 2 for v in ordered) / n)
+    return LatencySummary(
+        count=n,
+        mean=mean,
+        stddev=stddev,
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        p50=_percentile(ordered, 50),
+        p90=_percentile(ordered, 90),
+        p95=_percentile(ordered, 95),
+        p99=_percentile(ordered, 99),
+    )
+
+
+def trend_slope(series: Series, start: float, end: float) -> float:
+    """Least-squares slope of latency vs. time over [start, end), s/s.
+
+    A strongly positive slope over a long window is the Figure 6
+    signature: transactions queue faster than they are serviced.
+    """
+    window = series.between(start, end)
+    n = len(window)
+    if n < 2:
+        return 0.0
+    mean_t = sum(window.times) / n
+    mean_v = sum(window.values) / n
+    num = sum((t - mean_t) * (v - mean_v) for t, v in window)
+    den = sum((t - mean_t) ** 2 for t in window.times)
+    if den == 0:
+        return 0.0
+    return num / den
+
+
+def is_diverging(
+    series: Series,
+    start: float,
+    end: float,
+    growth_factor: float = 3.0,
+) -> bool:
+    """True if latency in the last third of the window dwarfs the first.
+
+    The paper's overload criterion ("transactions queue faster than
+    they can be serviced, causing latency to continuously increase"):
+    we compare mean latency of the final third of the measurement
+    window against the first third.
+    """
+    if end <= start:
+        return False
+    span = end - start
+    head = series.window_values(start, start + span / 3)
+    tail = series.window_values(end - span / 3, end)
+    if not head or not tail:
+        return False
+    head_mean = sum(head) / len(head)
+    tail_mean = sum(tail) / len(tail)
+    if head_mean <= 0:
+        return tail_mean > 0
+    return tail_mean / head_mean >= growth_factor
+
+
+def coefficient_of_variation(latencies: Sequence[float]) -> float:
+    """stddev / mean (NaN if empty or zero-mean)."""
+    summary = summarize(latencies)
+    if summary.count == 0 or summary.mean == 0:
+        return math.nan
+    return summary.stddev / summary.mean

@@ -1,0 +1,26 @@
+"""Control theory: PID controllers, tuning, and adaptive extensions."""
+
+from .adaptive import AdaptivePidController, ProcessGainEstimator
+from .pid import (
+    PAPER_GAINS,
+    PidGains,
+    PositionalPidController,
+    VelocityPidController,
+)
+from .tuning import RelayResult, RelayTuner, ziegler_nichols
+from .window import DEFAULT_TIMESTEP, DEFAULT_WINDOW, LatencyWindow
+
+__all__ = [
+    "AdaptivePidController",
+    "DEFAULT_TIMESTEP",
+    "DEFAULT_WINDOW",
+    "LatencyWindow",
+    "PAPER_GAINS",
+    "PidGains",
+    "PositionalPidController",
+    "ProcessGainEstimator",
+    "RelayResult",
+    "RelayTuner",
+    "VelocityPidController",
+    "ziegler_nichols",
+]

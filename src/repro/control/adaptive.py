@@ -1,0 +1,137 @@
+"""Adaptive gain scheduling — the Section 6 extension.
+
+"Slacker can easily incorporate more sophisticated control methods ...
+One model is adaptive control, which has been used successfully in
+resource management for virtual machines [Padala et al.].  This allows
+PID parameters to be learned online and adapted to the situation in
+real time."
+
+:class:`AdaptivePidController` wraps a velocity PID and rescales its
+gains online.  It estimates the process gain g = d(latency)/d(rate)
+with exponentially-forgetting recursive least squares on observed
+(Δoutput, Δlatency) pairs, then scales the base gains by
+``reference_gain / g``: when the plant becomes more sensitive (less
+slack, steeper latency response) the controller automatically softens,
+and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .pid import PidGains, VelocityPidController
+
+__all__ = ["ProcessGainEstimator", "AdaptivePidController"]
+
+
+class ProcessGainEstimator:
+    """RLS estimate (scalar, forgetting factor) of d(pv)/d(output)."""
+
+    def __init__(self, forgetting: float = 0.95, initial_gain: float = 0.0):
+        if not 0 < forgetting <= 1:
+            raise ValueError(f"forgetting must be in (0, 1], got {forgetting}")
+        self.forgetting = forgetting
+        self._theta = initial_gain  # estimated process gain
+        self._p = 1e3  # covariance
+        self.samples = 0
+
+    @property
+    def gain(self) -> float:
+        """Current estimate of the process gain."""
+        return self._theta
+
+    def update(self, delta_output: float, delta_pv: float) -> float:
+        """Fold in one observed (Δoutput, Δpv) pair; returns the estimate."""
+        x = delta_output
+        if abs(x) > 1e-12:
+            denom = self.forgetting + x * self._p * x
+            k = self._p * x / denom
+            self._theta += k * (delta_pv - x * self._theta)
+            self._p = (self._p - k * x * self._p) / self.forgetting
+            self.samples += 1
+        return self._theta
+
+
+class AdaptivePidController:
+    """Velocity PID whose gains track the estimated process gain.
+
+    ``reference_gain`` is the process gain the base gains were tuned
+    for; the effective gains each step are
+    ``base * clamp(reference_gain / |estimate|, scale_min, scale_max)``.
+    Until ``min_samples`` observations have accumulated the base gains
+    are used unchanged.
+    """
+
+    def __init__(
+        self,
+        base_gains: PidGains,
+        setpoint: float,
+        reference_gain: float,
+        output_min: float = 0.0,
+        output_max: float = 100.0,
+        initial_output: float = 0.0,
+        forgetting: float = 0.95,
+        scale_min: float = 0.2,
+        scale_max: float = 5.0,
+        min_samples: int = 5,
+    ):
+        if reference_gain == 0:
+            raise ValueError("reference_gain must be nonzero")
+        if not 0 < scale_min < scale_max:
+            raise ValueError(
+                f"need 0 < scale_min < scale_max, got {scale_min}, {scale_max}"
+            )
+        self.base_gains = base_gains
+        self.reference_gain = abs(reference_gain)
+        self.scale_min = scale_min
+        self.scale_max = scale_max
+        self.min_samples = min_samples
+        self.estimator = ProcessGainEstimator(forgetting=forgetting)
+        self._pid = VelocityPidController(
+            base_gains,
+            setpoint,
+            output_min=output_min,
+            output_max=output_max,
+            initial_output=initial_output,
+        )
+        self._last_pv: Optional[float] = None
+        self._last_output = self._pid.output
+
+    @property
+    def output(self) -> float:
+        """Current actuator value."""
+        return self._pid.output
+
+    @property
+    def setpoint(self) -> float:
+        return self._pid.setpoint
+
+    @property
+    def current_scale(self) -> float:
+        """Gain scale currently in effect."""
+        if self.estimator.samples < self.min_samples:
+            return 1.0
+        estimate = abs(self.estimator.gain)
+        if estimate < 1e-12:
+            return self.scale_max
+        return min(self.scale_max, max(self.scale_min, self.reference_gain / estimate))
+
+    def update(self, process_variable: float, dt: float = 1.0) -> float:
+        """Advance one timestep; returns the new absolute output."""
+        if self._last_pv is not None:
+            self.estimator.update(
+                delta_output=self._pid.output - self._last_output,
+                delta_pv=process_variable - self._last_pv,
+            )
+        self._last_pv = process_variable
+        self._last_output = self._pid.output
+        self._pid.gains = self.base_gains.scaled(self.current_scale)
+        return self._pid.update(process_variable, dt=dt)
+
+    def set_setpoint(self, setpoint: float) -> None:
+        """Retarget the controller."""
+        self._pid.set_setpoint(setpoint)
+
+    def set_output(self, output: float) -> None:
+        """Force the actuator value."""
+        self._pid.set_output(output)

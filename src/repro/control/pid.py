@@ -1,0 +1,219 @@
+"""PID controllers: classical (positional) and velocity forms.
+
+The paper drives migration speed with a PID controller whose output at
+time t is (Equation 5)::
+
+    out(t) = Kp*e(t) + Ki*integral(e) + Kd*de/dt
+
+and specifically uses the **velocity algorithm** — "an alternative form
+of the classical algorithm that outputs a delta rather than an absolute
+value at each timestep and does not use a sum of past errors, thus
+avoiding integral windup" (Section 4.2.3).  Windup matters in Slacker
+because a lightly loaded server can sit far below the latency setpoint
+for the whole migration, saturating a positional controller's integral
+term.
+
+Both forms are implemented (the ablation bench contrasts them), plus a
+clamping anti-windup option for the positional form.  Controllers are
+unit-agnostic; Slacker feeds errors in milliseconds and interprets
+output as percent of maximum migration speed, with the paper's gains
+Kp = 0.025, Ki = 0.005, Kd = 0.015.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "PidGains",
+    "PAPER_GAINS",
+    "VelocityPidController",
+    "PositionalPidController",
+]
+
+
+@dataclass(frozen=True)
+class PidGains:
+    """Proportional, integral, and derivative gains."""
+
+    kp: float
+    ki: float
+    kd: float
+
+    def __post_init__(self) -> None:
+        if self.kp < 0 or self.ki < 0 or self.kd < 0:
+            raise ValueError(f"gains must be non-negative, got {self}")
+
+    def scaled(self, factor: float) -> "PidGains":
+        """All three gains multiplied by ``factor``."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return PidGains(self.kp * factor, self.ki * factor, self.kd * factor)
+
+
+#: The gains the paper uses for its evaluation (footnote 1, Section 5.3):
+#: Ki small and Kd large relative to Kp, "owing to the slow reaction
+#: speed of transaction latency to a change in the migration speed".
+PAPER_GAINS = PidGains(kp=0.025, ki=0.005, kd=0.015)
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, value))
+
+
+class VelocityPidController:
+    """Velocity (incremental) PID: each step emits a *delta* output.
+
+    The absolute actuator value is integrated here for convenience and
+    clamped to [output_min, output_max]; because there is no explicit
+    error sum, clamping cannot cause windup.
+
+    The velocity update with timestep dt is::
+
+        du = Kp*(e_t - e_{t-1}) + Ki*e_t*dt + Kd*(e_t - 2 e_{t-1} + e_{t-2})/dt
+    """
+
+    def __init__(
+        self,
+        gains: PidGains,
+        setpoint: float,
+        output_min: float = 0.0,
+        output_max: float = 100.0,
+        initial_output: float = 0.0,
+    ):
+        if output_min >= output_max:
+            raise ValueError(
+                f"output_min {output_min} must be < output_max {output_max}"
+            )
+        self.gains = gains
+        self.setpoint = setpoint
+        self.output_min = output_min
+        self.output_max = output_max
+        self._output = _clamp(initial_output, output_min, output_max)
+        self._e1: Optional[float] = None  # e_{t-1}
+        self._e2: Optional[float] = None  # e_{t-2}
+        self.steps = 0
+
+    @property
+    def output(self) -> float:
+        """Current actuator value (absolute, clamped)."""
+        return self._output
+
+    def error(self, process_variable: float) -> float:
+        """Control error for the given measurement."""
+        return self.setpoint - process_variable
+
+    def update(self, process_variable: float, dt: float = 1.0) -> float:
+        """Advance one timestep; returns the new absolute output."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        e = self.error(process_variable)
+        e1 = self._e1 if self._e1 is not None else e
+        e2 = self._e2 if self._e2 is not None else e1
+        delta = (
+            self.gains.kp * (e - e1)
+            + self.gains.ki * e * dt
+            + self.gains.kd * (e - 2.0 * e1 + e2) / dt
+        )
+        self._output = _clamp(self._output + delta, self.output_min, self.output_max)
+        self._e2, self._e1 = e1, e
+        self.steps += 1
+        return self._output
+
+    def set_setpoint(self, setpoint: float) -> None:
+        """Retarget the controller (error history is kept)."""
+        self.setpoint = setpoint
+
+    def set_output(self, output: float) -> None:
+        """Force the actuator value (e.g. pause migration)."""
+        self._output = _clamp(output, self.output_min, self.output_max)
+
+    def reset(self, initial_output: float = 0.0) -> None:
+        """Clear history and restart from ``initial_output``."""
+        self._output = _clamp(initial_output, self.output_min, self.output_max)
+        self._e1 = None
+        self._e2 = None
+        self.steps = 0
+
+
+class PositionalPidController:
+    """Classical PID computing an absolute output from an error integral.
+
+    Included for the velocity-vs-positional ablation: without
+    anti-windup (``windup_limit=None`` disables clamping of the
+    integral), an extended period below the setpoint saturates the
+    integral term and the controller badly overshoots when load
+    arrives — the failure mode Section 4.2.3 describes.
+    """
+
+    def __init__(
+        self,
+        gains: PidGains,
+        setpoint: float,
+        output_min: float = 0.0,
+        output_max: float = 100.0,
+        windup_limit: Optional[float] = None,
+    ):
+        if output_min >= output_max:
+            raise ValueError(
+                f"output_min {output_min} must be < output_max {output_max}"
+            )
+        if windup_limit is not None and windup_limit <= 0:
+            raise ValueError(f"windup_limit must be positive, got {windup_limit}")
+        self.gains = gains
+        self.setpoint = setpoint
+        self.output_min = output_min
+        self.output_max = output_max
+        self.windup_limit = windup_limit
+        self._integral = 0.0
+        self._e1: Optional[float] = None
+        self._output = output_min
+        self.steps = 0
+
+    @property
+    def output(self) -> float:
+        """Current actuator value (absolute, clamped)."""
+        return self._output
+
+    @property
+    def integral(self) -> float:
+        """Accumulated error integral (inspectable for windup tests)."""
+        return self._integral
+
+    def error(self, process_variable: float) -> float:
+        """Control error for the given measurement."""
+        return self.setpoint - process_variable
+
+    def update(self, process_variable: float, dt: float = 1.0) -> float:
+        """Advance one timestep; returns the new absolute output."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        e = self.error(process_variable)
+        self._integral += e * dt
+        if self.windup_limit is not None:
+            self._integral = _clamp(
+                self._integral, -self.windup_limit, self.windup_limit
+            )
+        e1 = self._e1 if self._e1 is not None else e
+        derivative = (e - e1) / dt
+        raw = (
+            self.gains.kp * e
+            + self.gains.ki * self._integral
+            + self.gains.kd * derivative
+        )
+        self._output = _clamp(raw, self.output_min, self.output_max)
+        self._e1 = e
+        self.steps += 1
+        return self._output
+
+    def set_setpoint(self, setpoint: float) -> None:
+        """Retarget the controller (integral is kept)."""
+        self.setpoint = setpoint
+
+    def reset(self) -> None:
+        """Clear the integral and error history."""
+        self._integral = 0.0
+        self._e1 = None
+        self._output = self.output_min
+        self.steps = 0

@@ -1,0 +1,27 @@
+"""Core public API: configuration presets, SLAs, and the Slacker facade."""
+
+from .config import (
+    CASE_STUDY,
+    EVALUATION,
+    ExperimentConfig,
+    TenantConfig,
+    WorkloadConfig,
+)
+from .configfile import ConfigFileError, config_from_dict, load_config
+from .sla import LatencySla, SlaMonitor, SlaWindowReport
+from .slacker import Slacker
+
+__all__ = [
+    "CASE_STUDY",
+    "ConfigFileError",
+    "EVALUATION",
+    "ExperimentConfig",
+    "LatencySla",
+    "Slacker",
+    "SlaMonitor",
+    "SlaWindowReport",
+    "TenantConfig",
+    "WorkloadConfig",
+    "config_from_dict",
+    "load_config",
+]

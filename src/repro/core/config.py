@@ -1,0 +1,173 @@
+"""Experiment configuration presets.
+
+Two calibrated presets correspond to the paper's two testbed setups:
+
+* :data:`CASE_STUDY` — the Section 3 slack case study: a 1 GB tenant
+  under a moderately heavy mixed workload.  Anchors: baseline mean
+  latency ≈ 79 ms; stable under 4 MB/s and 8 MB/s migrations with
+  rising mean latency; heavy oscillation at 12 MB/s; divergence
+  (latency grows without bound) at 16 MB/s.
+* :data:`EVALUATION` — the Section 5 evaluation setup, which the paper
+  notes has "a lower query arrival rate and smaller buffer size" than
+  the case study, yielding more slack.  Anchors: fixed-throttle knee
+  around 25 MB/s; Slacker average speeds rising from ≈ 6 MB/s at a
+  500 ms setpoint to a plateau of ≈ 23 MB/s past a 3500 ms setpoint.
+
+Absolute milliseconds depend on the authors' exact hardware; the
+presets are calibrated so the anchors land close and the orderings and
+crossovers (which every bench asserts) match the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..control.pid import PAPER_GAINS, PidGains
+from ..resources.cpu import CpuParams
+from ..resources.disk import DiskParams
+from ..resources.network import NetworkParams
+from ..resources.server import ServerParams
+from ..resources.units import GB, KB, MB
+from ..workload.mix import SLACKER_MIX, OperationMix
+
+__all__ = [
+    "WorkloadConfig",
+    "TenantConfig",
+    "ExperimentConfig",
+    "CASE_STUDY",
+    "EVALUATION",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """One tenant's client workload."""
+
+    #: Mean Poisson arrival rate, transactions/second.
+    arrival_rate: float = 8.0
+    #: Operations per transaction (paper: 10).
+    ops_per_txn: int = 10
+    #: Operation mix (paper: 85 % read / 15 % write).
+    mix: OperationMix = field(default_factory=lambda: SLACKER_MIX)
+    #: Multiprogramming level (paper: 10).
+    mpl: int = 10
+    #: Key distribution: "uniform", "zipfian", "latest", or "hotspot".
+    key_distribution: str = "uniform"
+    #: Burst-state rate multiplier (1.0 = plain Poisson, no bursts).
+    burst_factor: float = 1.0
+    #: Mean dwell time in the normal state, seconds.
+    burst_mean_normal: float = 20.0
+    #: Mean dwell time in the burst state, seconds.
+    burst_mean_burst: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ValueError(f"arrival_rate must be positive, got {self.arrival_rate}")
+        if self.ops_per_txn <= 0 or self.mpl <= 0:
+            raise ValueError("ops_per_txn and mpl must be positive")
+        if self.key_distribution not in ("uniform", "zipfian", "latest", "hotspot"):
+            raise ValueError(f"unknown key_distribution {self.key_distribution!r}")
+        if self.burst_factor < 1:
+            raise ValueError(f"burst_factor must be >= 1, got {self.burst_factor}")
+        if self.burst_mean_normal <= 0 or self.burst_mean_burst <= 0:
+            raise ValueError("burst dwell times must be positive")
+
+    def scaled_rate(self, factor: float) -> "WorkloadConfig":
+        """Copy with the arrival rate multiplied by ``factor``."""
+        return replace(self, arrival_rate=self.arrival_rate * factor)
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant database."""
+
+    #: Data directory size (paper: 1 GB pre-populated database).
+    data_bytes: int = 1 * GB
+    #: InnoDB buffer pool size (paper evaluation: 128 MB).
+    buffer_bytes: int = 128 * MB
+    #: Row size, bytes (YCSB-style ~1 KB records).
+    row_size: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.data_bytes <= 0 or self.buffer_bytes <= 0 or self.row_size <= 0:
+            raise ValueError("tenant sizes must be positive")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything one experiment run needs."""
+
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    tenant: TenantConfig = field(default_factory=TenantConfig)
+    server: ServerParams = field(default_factory=ServerParams)
+    #: Migration chunk size, bytes.
+    chunk_bytes: int = 256 * KB
+    #: Full-speed rate that 100 % PID output maps to, bytes/second.
+    max_migration_rate: float = 32.0 * MB
+    #: PID gains (paper values).
+    gains: PidGains = PAPER_GAINS
+    #: Root RNG seed.
+    seed: int = 42
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        """Copy with a different seed (for replication studies)."""
+        return replace(self, seed=seed)
+
+    def with_arrival_rate(self, rate: float) -> "ExperimentConfig":
+        """Copy with a different workload arrival rate."""
+        return replace(self, workload=replace(self.workload, arrival_rate=rate))
+
+
+def _disk_of_the_era() -> DiskParams:
+    """The testbed's effective disk: ~5 ms positioning time and an
+    effective snapshot scan rate of 24 MB/s (XtraBackup's page-verifying
+    scan of InnoDB files, not a raw read of the platter)."""
+    return DiskParams(
+        seek_time=5.0e-3,
+        sequential_bandwidth=24.0 * MB,
+        random_bandwidth=60.0 * MB,
+    )
+
+
+def _server_of_the_era() -> ServerParams:
+    return ServerParams(
+        cpu=CpuParams(cores=4),
+        disk=_disk_of_the_era(),
+        network=NetworkParams(),
+    )
+
+
+#: Transfer chunk: the xtrabackup -> pv -> nc pipe moves data in
+#: multi-megabyte buffer flushes, which is what makes migration I/O
+#: bursty at second granularity (the paper's "brief latency blips").
+_CHUNK_BYTES = 2 * MB
+
+#: Section 3 case study: heavier workload, larger buffer, less slack —
+#: migration slack is exhausted between 12 and 16 MB/s (Figures 5, 6).
+CASE_STUDY = ExperimentConfig(
+    workload=WorkloadConfig(arrival_rate=6.5, burst_factor=2.0),
+    tenant=TenantConfig(data_bytes=1 * GB, buffer_bytes=256 * MB),
+    server=_server_of_the_era(),
+    chunk_bytes=_CHUNK_BYTES,
+    max_migration_rate=24.0 * MB,
+    seed=42,
+)
+
+#: Section 5 evaluation: lower base arrival rate, burstier, 128 MB
+#: buffer — more slack, with the fixed-throttle knee at the top of the
+#: sweep range (Figures 11-13).  Our knee sits near 15 MB/s where the
+#: paper's testbed reached ~25 MB/s (our effective disk is slower);
+#: rates scale by ~0.6x, orderings and crossovers are preserved.
+EVALUATION = ExperimentConfig(
+    workload=WorkloadConfig(
+        arrival_rate=3.2,
+        burst_factor=3.5,
+        burst_mean_normal=25.0,
+        burst_mean_burst=6.0,
+    ),
+    tenant=TenantConfig(data_bytes=1 * GB, buffer_bytes=128 * MB),
+    server=_server_of_the_era(),
+    chunk_bytes=_CHUNK_BYTES,
+    max_migration_rate=24.0 * MB,
+    seed=42,
+)

@@ -1,0 +1,137 @@
+"""Service-level agreements over transaction latency.
+
+The paper's SLA examples are percentile-latency bounds — "e.g., the
+95th percentile of queries has a max latency of 1 second" (Section 3),
+and the case study checks runs against "an SLA specifying a max 500 ms
+latency in the 99th percentile" and "1000 ms latency in the 90th
+percentile" (Section 3.2).  :class:`LatencySla` expresses exactly
+those, and :class:`SlaMonitor` does windowed violation accounting with
+a per-violation penalty, the provider-cost model of Section 1.2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..simulation.trace import Series
+
+__all__ = ["LatencySla", "SlaWindowReport", "SlaMonitor", "suggest_setpoint"]
+
+
+@dataclass(frozen=True)
+class LatencySla:
+    """'percentile of transactions must finish within bound seconds'."""
+
+    #: Percentile in (0, 100].
+    percentile: float
+    #: Latency bound, seconds.
+    bound: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {self.percentile}")
+        if self.bound <= 0:
+            raise ValueError(f"bound must be positive, got {self.bound}")
+
+    def satisfied_by(self, latencies: Sequence[float]) -> bool:
+        """True if the sample meets the SLA (vacuously true if empty)."""
+        if not latencies:
+            return True
+        ordered = sorted(latencies)
+        rank = max(1, math.ceil(self.percentile / 100.0 * len(ordered)))
+        return ordered[rank - 1] <= self.bound
+
+    def violation_fraction(self, latencies: Sequence[float]) -> float:
+        """Fraction of transactions exceeding the bound."""
+        if not latencies:
+            return 0.0
+        over = sum(1 for latency in latencies if latency > self.bound)
+        return over / len(latencies)
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. 'p99 <= 500 ms'."""
+        return f"p{self.percentile:g} <= {self.bound * 1000:g} ms"
+
+
+@dataclass(frozen=True)
+class SlaWindowReport:
+    """SLA evaluation of one accounting window."""
+
+    start: float
+    end: float
+    transactions: int
+    satisfied: bool
+
+
+class SlaMonitor:
+    """Evaluates an SLA over fixed accounting windows of a latency series."""
+
+    def __init__(self, sla: LatencySla, window: float = 10.0, penalty: float = 1.0):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if penalty < 0:
+            raise ValueError(f"penalty must be >= 0, got {penalty}")
+        self.sla = sla
+        self.window = window
+        self.penalty = penalty
+
+    def evaluate(self, series: Series, start: float, end: float) -> list[SlaWindowReport]:
+        """Chop [start, end) into windows and check each one."""
+        if end < start:
+            raise ValueError(f"end {end} before start {start}")
+        reports: list[SlaWindowReport] = []
+        t = start
+        while t < end:
+            window_end = min(end, t + self.window)
+            values = series.window_values(t, window_end)
+            reports.append(
+                SlaWindowReport(
+                    start=t,
+                    end=window_end,
+                    transactions=len(values),
+                    satisfied=self.sla.satisfied_by(values),
+                )
+            )
+            t = window_end
+        return reports
+
+    def total_penalty(self, series: Series, start: float, end: float) -> float:
+        """Penalty cost: one ``penalty`` per violated window."""
+        reports = self.evaluate(series, start, end)
+        return self.penalty * sum(1 for report in reports if not report.satisfied)
+
+
+def suggest_setpoint(
+    sla: LatencySla,
+    baseline_latencies: Sequence[float],
+    safety_factor: float = 0.8,
+    min_headroom: float = 2.0,
+) -> float:
+    """A reasonable controller setpoint for an SLA (paper Section 6).
+
+    The paper warns against the greedy choice (setpoint = the SLA
+    bound): percentile SLAs punish *variance*, and the migration's
+    bursts spread latency well above its mean.  The suggestion is the
+    smaller of
+
+    * ``safety_factor`` x the SLA bound (keep the mean clearly under
+      the bound so the tail stays under it too), and
+
+    while never dropping below ``min_headroom`` x the observed baseline
+    mean — a setpoint below that cannot be distinguished from the
+    baseline noise floor and would keep the migration near-paused.
+    """
+    if not 0 < safety_factor <= 1:
+        raise ValueError(f"safety_factor must be in (0, 1], got {safety_factor}")
+    if min_headroom < 1:
+        raise ValueError(f"min_headroom must be >= 1, got {min_headroom}")
+    cap = safety_factor * sla.bound
+    if not baseline_latencies:
+        return cap
+    baseline_mean = sum(baseline_latencies) / len(baseline_latencies)
+    floor = min_headroom * baseline_mean
+    # The floor wins when the baseline is already close to the bound —
+    # the caller should then question whether migrating now is wise.
+    return max(cap, floor)

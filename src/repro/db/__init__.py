@@ -1,0 +1,46 @@
+"""The MySQL/InnoDB-like tenant database substrate.
+
+Pages and tables, an LRU buffer pool, a binary log, a transaction
+executor bound to simulated server hardware, and a hot-backup tool
+(the XtraBackup equivalent) — everything Slacker's migration pipeline
+operates on.
+"""
+
+from .backup import DEFAULT_CHUNK_BYTES, HotBackup, Snapshot, SnapshotChunk
+from .buffer_pool import AccessResult, BufferPool, BufferPoolStats
+from .engine import DatabaseEngine, EngineState, EngineStats, FreezeMode
+from .log import BinaryLog, LogRecord
+from .pages import DEFAULT_ROW_SIZE, TableLayout
+from .shared import (
+    SharedProcessEngine,
+    SharedTenant,
+    SharedTenantSession,
+    TableLevelBackup,
+)
+from .transactions import Operation, OperationCosts, OpType, Transaction
+
+__all__ = [
+    "AccessResult",
+    "BinaryLog",
+    "BufferPool",
+    "BufferPoolStats",
+    "DEFAULT_CHUNK_BYTES",
+    "DEFAULT_ROW_SIZE",
+    "DatabaseEngine",
+    "EngineState",
+    "EngineStats",
+    "FreezeMode",
+    "HotBackup",
+    "LogRecord",
+    "Operation",
+    "OperationCosts",
+    "OpType",
+    "SharedProcessEngine",
+    "SharedTenant",
+    "SharedTenantSession",
+    "Snapshot",
+    "SnapshotChunk",
+    "TableLevelBackup",
+    "TableLayout",
+    "Transaction",
+]

@@ -1,0 +1,36 @@
+"""Shared helpers for the figure drivers.
+
+``scaled_config`` shrinks an experiment preset for fast runs: database
+size and buffer pool scale together so the buffer-pool miss ratio — and
+therefore the workload's disk demand per transaction — is preserved,
+and with it the latency-vs-migration-rate behaviour.  Only durations
+change.  Benches run at ``scale≈0.25``; the full figures at 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.config import ExperimentConfig
+
+__all__ = ["scaled_config", "DEFAULT_SCALE"]
+
+#: Scale used by the pytest benches (fast, shape-preserving).
+DEFAULT_SCALE = 0.25
+
+
+def scaled_config(
+    config: ExperimentConfig, scale: float = 1.0, seed: int | None = None
+) -> ExperimentConfig:
+    """A copy of ``config`` with tenant data and buffer scaled together."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    tenant = replace(
+        config.tenant,
+        data_bytes=max(1 << 20, int(config.tenant.data_bytes * scale)),
+        buffer_bytes=max(1 << 20, int(config.tenant.buffer_bytes * scale)),
+    )
+    out = replace(config, tenant=tenant)
+    if seed is not None:
+        out = out.with_seed(seed)
+    return out

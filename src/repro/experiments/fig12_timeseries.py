@@ -1,0 +1,172 @@
+"""Figure 12: the throttle reacting to the workload (1000 ms setpoint).
+
+"It is evident that the throttling speed is roughly an inverse of
+transaction latency.  During brief bursts of high latency ... Slacker
+decreases migration speed, sometimes even pausing migration entirely
+... during periods of low latency ... Slacker capitalizes on the
+opportunity to increase migration speed."  (Section 5.4)
+
+The driver reports the two time series (throttle speed and windowed
+latency, downsampled), their Pearson correlation (expected strongly
+negative), and whether the throttle ever paused.
+
+Run standalone::
+
+    python -m repro.experiments.fig12_timeseries
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.report import Table, format_ms, format_rate
+from ..core.config import EVALUATION, ExperimentConfig
+from ..resources.units import MB
+from ..simulation.trace import Series
+from .common import scaled_config
+from .harness import ExperimentOutcome, MigrationSpec, run_single_tenant
+
+__all__ = ["Fig12Result", "run", "main"]
+
+#: The setpoint the paper's Figure 12 uses.
+DEFAULT_SETPOINT = 1.0
+
+#: Throttle rates below this fraction of max count as "paused".
+PAUSE_FRACTION = 0.02
+
+
+def pearson(xs: list[float], ys: list[float]) -> float:
+    """Pearson correlation of two equal-length samples."""
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError("samples must have equal length")
+    if n < 2:
+        return math.nan
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    if vx == 0 or vy == 0:
+        return math.nan
+    return cov / math.sqrt(vx * vy)
+
+
+@dataclass
+class Fig12Result:
+    """Throttle/latency co-evolution measurements."""
+
+    outcome: ExperimentOutcome
+    setpoint: float
+    correlation: float
+    paused_steps: int
+    total_steps: int
+    max_rate: float
+
+    @property
+    def throttle(self) -> Series:
+        return self.outcome.throttle_series
+
+    @property
+    def window_latency(self) -> Series:
+        return self.outcome.controller_latency_series
+
+    def timeseries_rows(
+        self, step: float = 5.0
+    ) -> list[tuple[float, float, float]]:
+        """(t, throttle MB/s, window latency ms) samples every ``step`` s."""
+        rows = []
+        start = self.outcome.window_start
+        end = self.outcome.window_end
+        t = start
+        while t < end:
+            rates = self.throttle.window_values(t, t + step)
+            lats = self.window_latency.window_values(t, t + step)
+            if rates and lats:
+                rows.append(
+                    (
+                        t - start,
+                        sum(rates) / len(rates) / MB,
+                        1000 * sum(lats) / len(lats),
+                    )
+                )
+            t += step
+        return rows
+
+    def table(self) -> Table:
+        table = Table(
+            f"Figure 12: throttle vs. latency time series "
+            f"({self.setpoint * 1000:.0f} ms setpoint)",
+            ["t (s)", "throttle", "window latency"],
+        )
+        for t, rate_mb, lat_ms in self.timeseries_rows():
+            table.add_row(f"{t:5.0f}", format_rate(rate_mb * MB), format_ms(lat_ms / 1000))
+        table.add_note(
+            f"throttle-latency correlation {self.correlation:+.2f} "
+            "(paper: throttle is 'roughly an inverse' of latency)"
+        )
+        table.add_note(
+            f"paused (rate < {PAUSE_FRACTION:.0%} of max) in "
+            f"{self.paused_steps}/{self.total_steps} controller steps"
+        )
+        return table
+
+
+def run(
+    scale: float = 1.0,
+    config: Optional[ExperimentConfig] = None,
+    seed: Optional[int] = None,
+    setpoint: float = DEFAULT_SETPOINT,
+    warmup: float = 20.0,
+) -> Fig12Result:
+    """Run the Figure 12 dynamic migration and analyse its series."""
+    cfg = scaled_config(config or EVALUATION, scale, seed)
+    outcome = run_single_tenant(cfg, MigrationSpec.dynamic(setpoint), warmup=warmup)
+    throttle = outcome.throttle_series
+    latency = outcome.controller_latency_series
+    # Correlate throttle and latency over the *steady-state* window
+    # (after the controller first reaches the setpoint): during the
+    # initial ramp both rise together, which would mask the inverse
+    # relationship the paper's figure shows.
+    cross = next(
+        (t for t, v in latency if v >= setpoint), outcome.window_start
+    )
+    steady_throttle = throttle.between(cross, outcome.window_end)
+    steady_latency = latency.between(cross, outcome.window_end)
+    n = min(len(steady_throttle), len(steady_latency))
+    correlation = pearson(
+        list(steady_throttle.values[:n]), list(steady_latency.values[:n])
+    )
+    max_rate = cfg.max_migration_rate
+    paused = sum(1 for v in throttle.values if v < PAUSE_FRACTION * max_rate)
+    return Fig12Result(
+        outcome=outcome,
+        setpoint=setpoint,
+        correlation=correlation,
+        paused_steps=paused,
+        total_steps=len(throttle),
+        max_rate=max_rate,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    from ..analysis.plot import ascii_chart
+
+    result = run()
+    print(result.table().render())
+    print()
+    print(
+        ascii_chart(
+            result.throttle,
+            result.window_latency,
+            width=72,
+            height=12,
+        )
+    )
+    print(" (throttle * runs inversely to window latency o)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,96 @@
+"""Figure 5: transaction latency under fixed migration throttles.
+
+The paper's slack case study (Section 3.2): a 1 GB tenant runs its
+workload (a) with no migration, then while being live-migrated at
+fixed (b) 4 MB/s, (c) 8 MB/s, and (d) 12 MB/s.  Mean latency rises
+with migration speed — from 79 ms baseline to 153/410/720 ms — and the
+12 MB/s run shows large swings while remaining bounded.
+
+Run standalone::
+
+    python -m repro.experiments.fig5_throttle_sweep
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.report import Table, format_ms, format_seconds
+from ..core.config import CASE_STUDY, ExperimentConfig
+from ..resources.units import mb_per_sec
+from .common import scaled_config
+from .harness import ExperimentOutcome, MigrationSpec, run_single_tenant
+
+__all__ = ["Fig5Result", "PAPER_ANCHORS", "run", "main"]
+
+#: Paper-reported mean latencies (ms) for Figures 5a-5d.
+PAPER_ANCHORS = {0: 79.0, 4: 153.0, 8: 410.0, 12: 720.0}
+
+#: Paper-reported run durations (seconds) for Figures 5a-5d.
+PAPER_DURATIONS = {0: 180.0, 4: 281.0, 8: 164.0, 12: 130.0}
+
+
+@dataclass
+class Fig5Result:
+    """Measured outcomes, keyed by throttle rate in MB/s (0 = baseline)."""
+
+    outcomes: dict[int, ExperimentOutcome]
+
+    def mean_ms(self, rate: int) -> float:
+        return self.outcomes[rate].mean_latency * 1000
+
+    def stddev_ms(self, rate: int) -> float:
+        return self.outcomes[rate].latency_stddev * 1000
+
+    def table(self) -> Table:
+        table = Table(
+            "Figure 5: latency under fixed migration throttles (case study)",
+            ["run", "paper mean", "measured mean", "measured std", "duration"],
+        )
+        for rate in sorted(self.outcomes):
+            out = self.outcomes[rate]
+            label = "baseline (no migration)" if rate == 0 else f"{rate} MB/s throttle"
+            table.add_row(
+                label,
+                format_ms(PAPER_ANCHORS[rate] / 1000),
+                format_ms(out.mean_latency),
+                format_ms(out.latency_stddev),
+                format_seconds(out.duration),
+            )
+        table.add_note(
+            "paper durations: "
+            + ", ".join(f"{r or 'base'}: {d:.0f}s" for r, d in PAPER_DURATIONS.items())
+        )
+        return table
+
+
+def run(
+    scale: float = 1.0,
+    config: Optional[ExperimentConfig] = None,
+    seed: Optional[int] = None,
+    rates_mb: tuple[int, ...] = (4, 8, 12),
+    warmup: float = 20.0,
+) -> Fig5Result:
+    """Run the Figure 5 sweep; ``scale`` shrinks the database for speed."""
+    cfg = scaled_config(config or CASE_STUDY, scale, seed)
+    outcomes: dict[int, ExperimentOutcome] = {}
+    outcomes[0] = run_single_tenant(
+        cfg,
+        MigrationSpec.none(),
+        warmup=warmup,
+        baseline_duration=180.0 * max(scale, 0.25),
+    )
+    for rate in rates_mb:
+        outcomes[rate] = run_single_tenant(
+            cfg, MigrationSpec.fixed(mb_per_sec(rate)), warmup=warmup
+        )
+    return Fig5Result(outcomes=outcomes)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run().table().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

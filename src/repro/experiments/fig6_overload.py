@@ -1,0 +1,106 @@
+"""Figure 6: exceeding slack — a 16 MB/s migration overloads the server.
+
+"This migration speed results in an over-capacity server that can no
+longer handle the steady-state query load over time.  As a result,
+transactions queue faster than they can be serviced, causing latency
+to continuously increase until migration completes."  (Section 3.2)
+
+The driver measures the latency trend over the migration window and
+reports the first/middle/final thirds, the least-squares slope, and
+the divergence verdict.
+
+Run standalone::
+
+    python -m repro.experiments.fig6_overload
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.report import Table, format_ms, format_seconds
+from ..analysis.stats import is_diverging, trend_slope
+from ..core.config import CASE_STUDY, ExperimentConfig
+from ..resources.units import mb_per_sec
+from .common import scaled_config
+from .harness import ExperimentOutcome, MigrationSpec, run_single_tenant
+
+__all__ = ["Fig6Result", "run", "main"]
+
+#: The over-slack rate the paper uses, MB/s.
+OVERLOAD_RATE_MB = 16
+
+#: Paper's reported mean latency for the 16 MB/s run (ms).
+PAPER_MEAN_MS = 20254.0
+
+
+@dataclass
+class Fig6Result:
+    """Overload-run measurements."""
+
+    outcome: ExperimentOutcome
+    thirds_ms: tuple[float, float, float]
+    slope_ms_per_s: float
+    diverging: bool
+
+    def table(self) -> Table:
+        table = Table(
+            f"Figure 6: {OVERLOAD_RATE_MB} MB/s migration (slack exceeded)",
+            ["metric", "paper", "measured"],
+        )
+        out = self.outcome
+        table.add_row("mean latency", format_ms(PAPER_MEAN_MS / 1000),
+                      format_ms(out.mean_latency))
+        table.add_row("duration", format_seconds(95.0), format_seconds(out.duration))
+        first, middle, last = self.thirds_ms
+        table.add_row("first third mean", "rising", format_ms(first / 1000))
+        table.add_row("middle third mean", "rising", format_ms(middle / 1000))
+        table.add_row("final third mean", "rising", format_ms(last / 1000))
+        table.add_row("latency trend", "continuously increasing",
+                      f"{self.slope_ms_per_s:+.0f} ms/s")
+        table.add_row("diverging?", "yes", "yes" if self.diverging else "no")
+        return table
+
+
+def run(
+    scale: float = 1.0,
+    config: Optional[ExperimentConfig] = None,
+    seed: Optional[int] = None,
+    rate_mb: int = OVERLOAD_RATE_MB,
+    warmup: float = 20.0,
+) -> Fig6Result:
+    """Run the overload experiment; ``scale`` shrinks the database."""
+    cfg = scaled_config(config or CASE_STUDY, scale, seed)
+    outcome = run_single_tenant(
+        cfg, MigrationSpec.fixed(mb_per_sec(rate_mb)), warmup=warmup
+    )
+    series = outcome.tenants[0].latency
+    start, end = outcome.window_start, outcome.window_end
+    span = end - start
+    thirds = []
+    for i in range(3):
+        values = series.window_values(start + i * span / 3, start + (i + 1) * span / 3)
+        thirds.append(1000 * sum(values) / len(values) if values else float("nan"))
+    slope = trend_slope(series, start, end) * 1000  # ms of latency per second
+    return Fig6Result(
+        outcome=outcome,
+        thirds_ms=tuple(thirds),
+        slope_ms_per_s=slope,
+        diverging=is_diverging(series, start, end),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    from ..analysis.plot import sparkline
+
+    result = run()
+    print(result.table().render())
+    series = result.outcome.tenants[0].latency
+    print()
+    print("latency over the migration (diverging):")
+    print(" " + sparkline(series.values, width=72))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,95 @@
+"""Figure 7: the migration-speed / workload-performance tradeoff.
+
+Plots (as rows) the mean transaction latency, its standard deviation,
+and the migration duration for each fixed throttle of the case study.
+"Increasing the migration speed increases both average latency and
+latency instability" while the migration finishes sooner — the
+tradeoff the setpoint lets an operator choose along.
+
+Run standalone::
+
+    python -m repro.experiments.fig7_tradeoff
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.report import Table, format_ms, format_seconds
+from ..core.config import CASE_STUDY, ExperimentConfig
+from .fig5_throttle_sweep import PAPER_ANCHORS, Fig5Result
+from .fig5_throttle_sweep import run as run_fig5
+
+__all__ = ["Fig7Result", "run", "main"]
+
+#: Paper-reported migration durations (s) per rate; 0 MB/s has none.
+PAPER_DURATION_S = {4: 281.0, 8: 164.0, 12: 130.0}
+
+
+@dataclass
+class Fig7Result:
+    """Speed/performance tradeoff rows derived from the Figure 5 runs."""
+
+    fig5: Fig5Result
+
+    def rows(self) -> list[tuple[int, float, float, Optional[float]]]:
+        """(rate MB/s, mean ms, stddev ms, duration s or None) per run."""
+        out = []
+        for rate in sorted(self.fig5.outcomes):
+            outcome = self.fig5.outcomes[rate]
+            duration = outcome.duration if rate != 0 else None
+            out.append(
+                (
+                    rate,
+                    outcome.mean_latency * 1000,
+                    outcome.latency_stddev * 1000,
+                    duration,
+                )
+            )
+        return out
+
+    def table(self) -> Table:
+        table = Table(
+            "Figure 7: migration speed vs. workload performance",
+            [
+                "speed",
+                "paper mean",
+                "measured mean",
+                "measured std",
+                "migration duration",
+            ],
+        )
+        for rate, mean_ms, std_ms, duration in self.rows():
+            table.add_row(
+                "no migration" if rate == 0 else f"{rate} MB/s",
+                format_ms(PAPER_ANCHORS[rate] / 1000),
+                format_ms(mean_ms / 1000),
+                format_ms(std_ms / 1000),
+                format_seconds(duration) if duration is not None else "-",
+            )
+        table.add_note(
+            "both mean latency and latency variance rise with speed; "
+            "duration falls — the slack tradeoff of Section 3.3"
+        )
+        return table
+
+
+def run(
+    scale: float = 1.0,
+    config: Optional[ExperimentConfig] = None,
+    seed: Optional[int] = None,
+    fig5: Optional[Fig5Result] = None,
+) -> Fig7Result:
+    """Derive the tradeoff from (or re-run) the Figure 5 sweep."""
+    if fig5 is None:
+        fig5 = run_fig5(scale=scale, config=config or CASE_STUDY, seed=seed)
+    return Fig7Result(fig5=fig5)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(run().table().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

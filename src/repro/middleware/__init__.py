@@ -1,0 +1,59 @@
+"""Slacker middleware: tenant management, control protocol, nodes, cluster."""
+
+from .cluster import SlackerCluster
+from .frontend import Frontend, TenantLocation
+from .node import NodeConfig, SlackerNode
+from .protocol import (
+    MESSAGE_REGISTRY,
+    CreateTenantReply,
+    CreateTenantRequest,
+    DeleteTenantReply,
+    DeleteTenantRequest,
+    Heartbeat,
+    MigrateTenantAccept,
+    MigrateTenantComplete,
+    MigrateTenantRequest,
+    ProtocolError,
+    TenantLocationUpdate,
+    decode_message,
+    decode_varint,
+    encode_message,
+    encode_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+from .tenant import BASE_PORT, Tenant, TenantRegistry, TenantStatus, tenant_port
+from .transport import Endpoint, Envelope, MessageBus
+
+__all__ = [
+    "BASE_PORT",
+    "CreateTenantReply",
+    "CreateTenantRequest",
+    "DeleteTenantReply",
+    "DeleteTenantRequest",
+    "Endpoint",
+    "Envelope",
+    "Frontend",
+    "Heartbeat",
+    "MESSAGE_REGISTRY",
+    "MessageBus",
+    "MigrateTenantAccept",
+    "MigrateTenantComplete",
+    "MigrateTenantRequest",
+    "NodeConfig",
+    "ProtocolError",
+    "SlackerCluster",
+    "SlackerNode",
+    "Tenant",
+    "TenantLocation",
+    "TenantLocationUpdate",
+    "TenantRegistry",
+    "TenantStatus",
+    "decode_message",
+    "decode_varint",
+    "encode_message",
+    "encode_varint",
+    "tenant_port",
+    "zigzag_decode",
+    "zigzag_encode",
+]

@@ -1,0 +1,75 @@
+"""Cluster orchestration: servers + nodes + bus + frontend in one place.
+
+A convenience assembly mirroring the paper's Figure 4 testbed: several
+servers each running a Slacker migration controller, connected
+peer-to-peer, plus the lightweight frontend.  Experiments and examples
+build a :class:`SlackerCluster` and talk to its nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..resources.server import Server, ServerParams
+from ..simulation import Environment, RandomStreams, Trace
+from .frontend import Frontend
+from .node import NodeConfig, SlackerNode
+from .transport import MessageBus
+
+__all__ = ["SlackerCluster"]
+
+
+class SlackerCluster:
+    """A set of interconnected Slacker nodes sharing one simulation."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_names: Sequence[str],
+        server_params: Optional[ServerParams] = None,
+        node_config: Optional[NodeConfig] = None,
+        streams: Optional[RandomStreams] = None,
+        trace: Optional[Trace] = None,
+    ):
+        if not node_names:
+            raise ValueError("need at least one node name")
+        if len(set(node_names)) != len(node_names):
+            raise ValueError(f"duplicate node names in {list(node_names)}")
+        self.env = env
+        self.streams = streams or RandomStreams(0)
+        self.trace = trace if trace is not None else Trace()
+        self.servers: dict[str, Server] = {
+            name: Server(env, name, params=server_params, streams=self.streams)
+            for name in node_names
+        }
+        self.bus = MessageBus(env, nics=self.servers)
+        self.frontend = Frontend(env, self.bus)
+        self.nodes: dict[str, SlackerNode] = {
+            name: SlackerNode(
+                env,
+                server,
+                self.bus,
+                self.frontend,
+                config=node_config,
+                trace=self.trace,
+            )
+            for name, server in self.servers.items()
+        }
+        for node in self.nodes.values():
+            node.peers = {n: p for n, p in self.nodes.items() if p is not node}
+
+    def node(self, name: str) -> SlackerNode:
+        """Look up a node by name."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise KeyError(f"no node named {name!r}") from None
+
+    def locate(self, tenant_id: int) -> Optional[str]:
+        """Which node currently hosts a tenant (via the frontend)."""
+        location = self.frontend.lookup(tenant_id)
+        return location.node if location else None
+
+    def total_tenants(self) -> int:
+        """Tenants across all nodes."""
+        return sum(len(node.registry) for node in self.nodes.values())

@@ -1,0 +1,79 @@
+"""Stream framing: decode protocol messages from a byte stream.
+
+The in-process transport delivers whole messages, but a real deployment
+receives the wire format over TCP, where reads return arbitrary byte
+chunks.  :class:`MessageStreamDecoder` accumulates bytes and yields
+complete messages as they become decodable — including messages split
+across reads and multiple messages arriving in one read — so the
+protocol layer is genuinely socket-ready.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .protocol import ProtocolError, decode_message, decode_varint, encode_message
+
+__all__ = ["MessageStreamDecoder", "frame_messages"]
+
+
+def frame_messages(messages: list[Any]) -> bytes:
+    """Encode several messages back-to-back into one byte stream."""
+    return b"".join(encode_message(message) for message in messages)
+
+
+class MessageStreamDecoder:
+    """Incremental decoder for a stream of wire-format messages."""
+
+    #: Refuse to buffer more than this (malformed-stream protection).
+    MAX_BUFFER = 16 * 1024 * 1024
+
+    def __init__(self):
+        self._buffer = bytearray()
+        self.messages_decoded = 0
+        self.bytes_consumed = 0
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes received but not yet decodable into a full message."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Any]:
+        """Add received bytes; returns every newly-complete message."""
+        self._buffer.extend(data)
+        if len(self._buffer) > self.MAX_BUFFER:
+            raise ProtocolError(
+                f"stream buffer exceeded {self.MAX_BUFFER} bytes without a "
+                "complete message"
+            )
+        out = []
+        while True:
+            message, consumed = self._try_decode()
+            if message is None:
+                break
+            out.append(message)
+            del self._buffer[:consumed]
+            self.messages_decoded += 1
+            self.bytes_consumed += consumed
+        return out
+
+    def _try_decode(self):
+        """Attempt to decode one message from the buffer head."""
+        data = bytes(self._buffer)
+        if not data:
+            return None, 0
+        try:
+            _msg_id, offset = decode_varint(data, 0)
+            length, offset = decode_varint(data, offset)
+        except ProtocolError:
+            # Truncated varint header: wait for more bytes.
+            return None, 0
+        if offset + length > len(data):
+            return None, 0  # body not fully here yet
+        message, end = decode_message(data, 0)
+        return message, end
+
+    def iter_feed(self, chunks: Iterator[bytes]) -> Iterator[Any]:
+        """Decode a whole iterable of read chunks, yielding messages."""
+        for chunk in chunks:
+            yield from self.feed(chunk)

@@ -1,0 +1,79 @@
+"""Frontend tenant→server mapping.
+
+"In our prototype, we simply resolve the issue [of post-migration
+routing] by adding a lightweight frontend server that maintains an
+up-to-date mapping of tenants to servers.  Machines issuing queries to
+a given tenant register with the frontend to receive updates when the
+tenant migrates" (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..simulation import Environment
+from .protocol import TenantLocationUpdate
+from .tenant import tenant_port
+from .transport import MessageBus
+
+__all__ = ["TenantLocation", "Frontend"]
+
+
+@dataclass(frozen=True)
+class TenantLocation:
+    """Where a tenant currently lives."""
+
+    tenant_id: int
+    node: str
+    port: int
+
+
+class Frontend:
+    """The cluster's tenant-location directory with push updates."""
+
+    def __init__(self, env: Environment, bus: MessageBus, name: str = "frontend"):
+        self.env = env
+        self.bus = bus
+        self.name = name
+        self.endpoint = bus.endpoint(name)
+        self._locations: dict[int, TenantLocation] = {}
+        #: tenant_id -> endpoint names subscribed to that tenant's moves.
+        self._subscribers: dict[int, set[str]] = {}
+        self.updates_published = 0
+
+    def lookup(self, tenant_id: int) -> Optional[TenantLocation]:
+        """Current location of a tenant, or None if unknown."""
+        return self._locations.get(tenant_id)
+
+    def subscribe(self, tenant_id: int, endpoint_name: str) -> Optional[TenantLocation]:
+        """Register for updates about a tenant; returns current location."""
+        self._subscribers.setdefault(tenant_id, set()).add(endpoint_name)
+        return self._locations.get(tenant_id)
+
+    def unsubscribe(self, tenant_id: int, endpoint_name: str) -> None:
+        """Stop receiving updates about a tenant."""
+        self._subscribers.get(tenant_id, set()).discard(endpoint_name)
+
+    def update_location(self, tenant_id: int, node: str) -> TenantLocation:
+        """Record a (new) location and push updates to subscribers."""
+        location = TenantLocation(
+            tenant_id=tenant_id, node=node, port=tenant_port(tenant_id)
+        )
+        self._locations[tenant_id] = location
+        update = TenantLocationUpdate(
+            tenant_id=tenant_id, node=node, port=location.port
+        )
+        for subscriber in sorted(self._subscribers.get(tenant_id, ())):
+            self.env.process(self.endpoint.send(subscriber, update))
+            self.updates_published += 1
+        return location
+
+    def remove(self, tenant_id: int) -> None:
+        """Forget a deleted tenant."""
+        self._locations.pop(tenant_id, None)
+        self._subscribers.pop(tenant_id, None)
+
+    def tenants(self) -> list[TenantLocation]:
+        """All known locations, sorted by tenant id."""
+        return [self._locations[tid] for tid in sorted(self._locations)]

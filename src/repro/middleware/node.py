@@ -1,0 +1,420 @@
+"""A Slacker node: the per-server migration controller.
+
+"Each server running an instance of Slacker operates a single
+server-wide migration controller that migrates MySQL instances on the
+server between other servers running Slacker.  In addition to
+migrating existing tenants, the middleware is also responsible for
+instantiating (or deleting) MySQL instances for new tenants"
+(Section 2).
+
+The node owns tenant lifecycle (create/delete), answers control-plane
+messages from peers, and runs outgoing migrations — with either a
+fixed throttle or the PID-driven dynamic throttle.  For dynamic
+migrations the controller's process variable pools the latency of
+*all* tenants on the node (and optionally the target node), per
+Sections 5.6 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..control.adaptive import AdaptivePidController
+from ..control.pid import PAPER_GAINS, PidGains
+from ..control.window import DEFAULT_WINDOW, LatencyWindow
+from ..db.engine import DatabaseEngine
+from ..db.pages import TableLayout
+from ..migration.controller import ControllerConfig, DynamicThrottleController
+from ..migration.live import LiveMigration, LiveMigrationResult
+from ..migration.throttle import Throttle
+from ..resources.server import Server
+from ..resources.units import MB
+from ..simulation import Environment, Event, Series, Trace
+from .frontend import Frontend
+from .protocol import (
+    CreateTenantReply,
+    CreateTenantRequest,
+    DeleteTenantReply,
+    DeleteTenantRequest,
+    Heartbeat,
+    MigrateTenantAccept,
+    MigrateTenantComplete,
+    MigrateTenantRequest,
+    TenantLocationUpdate,
+)
+from .tenant import Tenant, TenantRegistry, TenantStatus
+from .transport import MessageBus
+
+__all__ = ["NodeConfig", "SlackerNode"]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Per-node defaults for tenant creation and migration."""
+
+    #: Default buffer pool per tenant, bytes.
+    buffer_bytes: int = 128 * MB
+    #: Full-speed migration rate (100 % PID output), bytes/second.
+    max_migration_rate: float = 32.0 * MB
+    #: Migration transfer chunk size, bytes.
+    chunk_bytes: int = 4 * MB
+    #: PID sliding window, seconds.
+    window: float = DEFAULT_WINDOW
+    #: PID gains driving dynamic migrations.
+    gains: PidGains = PAPER_GAINS
+    #: Controller kind: "velocity" (paper) or "adaptive" (Section 6's
+    #: drop-in replacement: gains rescaled online by an RLS estimate of
+    #: the plant's latency-vs-rate sensitivity).
+    controller: str = "velocity"
+    #: Plant sensitivity the base gains were tuned for, ms of latency
+    #: per percent of max migration rate (adaptive controller only).
+    adaptive_reference_gain: float = 40.0
+    #: Also pool the target node's latency into the PID input (Section 6).
+    throttle_both_ends: bool = False
+    #: Floor on the dynamic throttle, percent of max rate (0 = the
+    #: paper's behaviour: bursts may pause migration entirely).
+    min_output_pct: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.controller not in ("velocity", "adaptive"):
+            raise ValueError(
+                f"controller must be 'velocity' or 'adaptive', got {self.controller!r}"
+            )
+
+
+@dataclass
+class NodeStats:
+    """Running counters for one node."""
+
+    tenants_created: int = 0
+    tenants_deleted: int = 0
+    migrations_out: int = 0
+    migrations_in: int = 0
+    migrations_queued: int = 0
+    messages_handled: int = 0
+    completed: list[LiveMigrationResult] = field(default_factory=list)
+
+
+class SlackerNode:
+    """The middleware instance running on one server."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server: Server,
+        bus: MessageBus,
+        frontend: Frontend,
+        config: Optional[NodeConfig] = None,
+        trace: Optional[Trace] = None,
+    ):
+        self.env = env
+        self.server = server
+        self.bus = bus
+        self.frontend = frontend
+        self.config = config or NodeConfig()
+        self.trace = trace if trace is not None else Trace()
+        self.name = server.name
+        self.endpoint = bus.endpoint(self.name)
+        self.registry = TenantRegistry()
+        self.stats = NodeStats()
+        #: Peer directory, set by the cluster after all nodes exist.
+        self.peers: dict[str, SlackerNode] = {}
+        #: tenant_id -> latency Series attached by workload clients.
+        self._latency_series: dict[int, Series] = {}
+        self._pending_accepts: dict[int, Event] = {}
+        #: Last heartbeat received from each peer.
+        self.peer_loads: dict[str, Heartbeat] = {}
+        self._migration_queue: list = []
+        self._migration_worker_running = False
+        self._heartbeat_interval: Optional[float] = None
+        self._last_disk_busy = 0.0
+        self._last_heartbeat_at = 0.0
+        self._dispatcher = env.process(self._dispatch_loop())
+
+    # -- tenant lifecycle ------------------------------------------------------
+
+    def create_tenant(
+        self,
+        tenant_id: int,
+        data_bytes: int,
+        buffer_bytes: Optional[int] = None,
+    ) -> Tenant:
+        """Instantiate a new tenant daemon on this node."""
+        layout = TableLayout.for_data_size(data_bytes)
+        engine = DatabaseEngine(
+            self.env,
+            self.server,
+            layout,
+            name=f"tenant-{tenant_id}@{self.name}",
+            buffer_bytes=buffer_bytes or self.config.buffer_bytes,
+        )
+        tenant = Tenant(tenant_id=tenant_id, engine=engine, node=self.name)
+        self.registry.add(tenant)
+        self.frontend.update_location(tenant_id, self.name)
+        self.stats.tenants_created += 1
+        return tenant
+
+    def delete_tenant(self, tenant_id: int) -> None:
+        """Stop a tenant's daemon and delete its data directory."""
+        tenant = self.registry.remove(tenant_id)
+        tenant.engine.stop()
+        tenant.status = TenantStatus.DELETED
+        self.frontend.remove(tenant_id)
+        self.stats.tenants_deleted += 1
+
+    def adopt_tenant(self, tenant: Tenant, engine: DatabaseEngine) -> None:
+        """Take over an incoming tenant at migration handover."""
+        tenant.engine = engine
+        tenant.status = TenantStatus.ACTIVE
+        self.registry.add(tenant)
+        self.stats.migrations_in += 1
+
+    def attach_latency_series(self, tenant_id: int, series: Series) -> None:
+        """Register a workload client's latency series for PID input."""
+        if tenant_id not in self.registry:
+            raise KeyError(f"no tenant {tenant_id} on node {self.name}")
+        self._latency_series[tenant_id] = series
+
+    def detach_latency_series(self, tenant_id: int) -> None:
+        """Remove a tenant's latency series (tenant moved or deleted)."""
+        self._latency_series.pop(tenant_id, None)
+
+    def latency_series(self) -> list[Series]:
+        """All latency series attached to tenants on this node."""
+        return [
+            self._latency_series[tid]
+            for tid in sorted(self._latency_series)
+            if tid in self.registry
+        ]
+
+    # -- migration --------------------------------------------------------------
+
+    def migrate_tenant(
+        self,
+        tenant_id: int,
+        target: str,
+        setpoint: Optional[float] = None,
+        fixed_rate: Optional[float] = None,
+        max_rate: Optional[float] = None,
+    ):
+        """Process: migrate a tenant to the named peer node.
+
+        Exactly one of ``setpoint`` (dynamic PID throttle, seconds) or
+        ``fixed_rate`` (bytes/second) must be given.  Returns the
+        :class:`LiveMigrationResult`.
+        """
+        if (setpoint is None) == (fixed_rate is None):
+            raise ValueError("give exactly one of setpoint or fixed_rate")
+        tenant = self.registry.get(tenant_id)
+        if target not in self.peers:
+            raise KeyError(f"unknown peer node {target!r}")
+        peer = self.peers[target]
+        tenant.status = TenantStatus.MIGRATING_OUT
+
+        # Control plane: ask the target to accept the tenant.
+        accept_event = self.env.event()
+        self._pending_accepts[tenant_id] = accept_event
+        request = MigrateTenantRequest(
+            tenant_id=tenant_id,
+            target_node=target,
+            setpoint=setpoint or 0.0,
+            fixed_rate=fixed_rate or 0.0,
+        )
+        yield self.env.process(self.endpoint.send(target, request))
+        yield accept_event
+
+        # Data plane: throttled live migration.
+        throttle = Throttle(self.env, rate=fixed_rate or 0.0)
+        migration = LiveMigration(
+            self.env,
+            tenant.engine,
+            peer.server,
+            throttle,
+            chunk_bytes=self.config.chunk_bytes,
+            on_handover=lambda engine: self._handover(tenant, peer, engine),
+        )
+        migration_proc = self.env.process(migration.run())
+
+        controller = None
+        if setpoint is not None:
+            series_list = self.latency_series()
+            if not series_list:
+                # No workload telemetry attached: assume zero observed
+                # latency, so the controller ramps to full speed (an
+                # unmonitored tenant cannot report interference).
+                series_list = [Series(f"{self.name}:no-signal")]
+            windows = [
+                LatencyWindow(
+                    series_list, window=self.config.window, initial_value=0.0
+                )
+            ]
+            if self.config.throttle_both_ends and peer.latency_series():
+                windows.append(
+                    LatencyWindow(peer.latency_series(), window=self.config.window)
+                )
+            pid = None
+            if self.config.controller == "adaptive":
+                pid = AdaptivePidController(
+                    self.config.gains,
+                    setpoint=setpoint * 1000.0,  # controller works in ms
+                    reference_gain=self.config.adaptive_reference_gain,
+                )
+            controller = DynamicThrottleController(
+                self.env,
+                throttle,
+                windows,
+                ControllerConfig(
+                    setpoint=setpoint,
+                    max_rate=max_rate or self.config.max_migration_rate,
+                    gains=self.config.gains,
+                    window=self.config.window,
+                    min_output_pct=self.config.min_output_pct,
+                    combine="max" if len(windows) > 1 else "mean",
+                ),
+                controller=pid,
+                trace=self.trace,
+                name=f"{self.name}:mig-{tenant_id}",
+            )
+            self.env.process(controller.run(until=migration_proc))
+
+        result = yield migration_proc
+        throttle.stop()
+        if controller is not None:
+            controller.stop()
+
+        # Tell the target (and any observer) the migration finished.
+        complete = MigrateTenantComplete(
+            tenant_id=tenant_id,
+            duration=result.duration,
+            downtime=result.downtime,
+            bytes_moved=result.total_bytes,
+        )
+        yield self.env.process(self.endpoint.send(target, complete))
+        self.stats.migrations_out += 1
+        self.stats.completed.append(result)
+        return result
+
+    def _handover(self, tenant: Tenant, peer: "SlackerNode", engine) -> None:
+        """Swap authority to the target engine (runs at handover time)."""
+        self.registry.remove(tenant.tenant_id)
+        self.detach_latency_series(tenant.tenant_id)
+        tenant.record_move(self.env.now, self.name, peer.name)
+        peer.adopt_tenant(tenant, engine)
+        self.frontend.update_location(tenant.tenant_id, peer.name)
+
+    def enqueue_migration(
+        self,
+        tenant_id: int,
+        target: str,
+        setpoint: Optional[float] = None,
+        fixed_rate: Optional[float] = None,
+    ) -> Event:
+        """Queue a migration; returns an event firing with its result.
+
+        Concurrent migrations from one server would each consume the
+        slack the other's controller is trying to discover, so the node
+        serializes them: one data stream at a time, strictly FIFO.
+        """
+        if (setpoint is None) == (fixed_rate is None):
+            raise ValueError("give exactly one of setpoint or fixed_rate")
+        self.registry.get(tenant_id)  # fail fast on unknown tenants
+        done = Event(self.env)
+        self._migration_queue.append((tenant_id, target, setpoint, fixed_rate, done))
+        self.stats.migrations_queued += 1
+        if not self._migration_worker_running:
+            self._migration_worker_running = True
+            self.env.process(self._migration_worker())
+        return done
+
+    @property
+    def queued_migrations(self) -> int:
+        """Migrations waiting for (or holding) the single outbound slot."""
+        return len(self._migration_queue)
+
+    def _migration_worker(self):
+        while self._migration_queue:
+            tenant_id, target, setpoint, fixed_rate, done = self._migration_queue[0]
+            try:
+                result = yield self.env.process(
+                    self.migrate_tenant(
+                        tenant_id, target, setpoint=setpoint, fixed_rate=fixed_rate
+                    )
+                )
+            except Exception as exc:  # surface the failure to the caller
+                done.fail(exc)
+            else:
+                done.succeed(result)
+            self._migration_queue.pop(0)
+        self._migration_worker_running = False
+
+    # -- heartbeats ---------------------------------------------------------------
+
+    def start_heartbeats(self, interval: float = 10.0) -> None:
+        """Begin broadcasting periodic load reports to every peer.
+
+        Each heartbeat carries the tenant count and the disk
+        utilization over the last interval — the raw inputs a remote
+        placement policy needs.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if self._heartbeat_interval is not None:
+            raise RuntimeError(f"node {self.name} is already heartbeating")
+        self._heartbeat_interval = interval
+        self.env.process(self._heartbeat_loop())
+
+    def current_heartbeat(self) -> Heartbeat:
+        """Build this node's load report for the last interval."""
+        now = self.env.now
+        busy = self.server.disk.stats.busy_time
+        span = now - self._last_heartbeat_at
+        utilization = (busy - self._last_disk_busy) / span if span > 0 else 0.0
+        self._last_disk_busy = busy
+        self._last_heartbeat_at = now
+        return Heartbeat(
+            node=self.name,
+            tenant_count=len(self.registry),
+            disk_utilization=min(1.0, max(0.0, utilization)),
+        )
+
+    def _heartbeat_loop(self):
+        while True:
+            yield self.env.timeout(self._heartbeat_interval)
+            beat = self.current_heartbeat()
+            for peer in self.peers:
+                yield self.env.process(self.endpoint.send(peer, beat))
+
+    # -- control-plane dispatcher ------------------------------------------------
+
+    def _dispatch_loop(self):
+        while True:
+            envelope = yield self.endpoint.receive()
+            self.stats.messages_handled += 1
+            message = envelope.message
+            if isinstance(message, CreateTenantRequest):
+                tenant = self.create_tenant(
+                    message.tenant_id, message.data_bytes, message.buffer_bytes
+                )
+                reply = CreateTenantReply(
+                    tenant_id=tenant.tenant_id, port=tenant.port, ok=True
+                )
+                yield self.env.process(self.endpoint.send(envelope.sender, reply))
+            elif isinstance(message, DeleteTenantRequest):
+                ok = message.tenant_id in self.registry
+                if ok:
+                    self.delete_tenant(message.tenant_id)
+                reply = DeleteTenantReply(tenant_id=message.tenant_id, ok=ok)
+                yield self.env.process(self.endpoint.send(envelope.sender, reply))
+            elif isinstance(message, MigrateTenantRequest):
+                # A peer announcing an incoming tenant: agree to receive.
+                accept = MigrateTenantAccept(tenant_id=message.tenant_id, ok=True)
+                yield self.env.process(self.endpoint.send(envelope.sender, accept))
+            elif isinstance(message, MigrateTenantAccept):
+                pending = self._pending_accepts.pop(message.tenant_id, None)
+                if pending is not None and not pending.triggered:
+                    pending.succeed(message)
+            elif isinstance(message, (MigrateTenantComplete, TenantLocationUpdate)):
+                pass  # informational
+            elif isinstance(message, Heartbeat):
+                self.peer_loads[message.node] = message

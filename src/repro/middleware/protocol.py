@@ -1,0 +1,319 @@
+"""Wire protocol for Slacker control messages.
+
+"Communication between Slacker migration controllers occurs in a
+peer-to-peer fashion using a simple format based on Google's protocol
+buffers" (Section 2.2).  Protobuf itself is not available offline, so
+this module implements the relevant subset of its wire format from
+scratch: varint-encoded tags and values, length-delimited strings, and
+64-bit fixed-width floats, with messages declared as dataclasses whose
+fields carry protobuf-style field numbers.
+
+The encoding is the real protobuf wire format for the types used, so a
+message round-trips byte-for-byte through :func:`encode_message` /
+:func:`decode_message`, and unknown fields are skipped on decode (the
+standard forward-compatibility behaviour).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Type, TypeVar
+
+__all__ = [
+    "ProtocolError",
+    "encode_varint",
+    "decode_varint",
+    "zigzag_encode",
+    "zigzag_decode",
+    "encode_message",
+    "decode_message",
+    "MESSAGE_REGISTRY",
+    "CreateTenantRequest",
+    "CreateTenantReply",
+    "DeleteTenantRequest",
+    "DeleteTenantReply",
+    "MigrateTenantRequest",
+    "MigrateTenantAccept",
+    "MigrateTenantComplete",
+    "TenantLocationUpdate",
+    "Heartbeat",
+]
+
+T = TypeVar("T")
+
+#: Wire types (protobuf-compatible numbering).
+_WIRE_VARINT = 0
+_WIRE_FIXED64 = 1
+_WIRE_BYTES = 2
+
+
+class ProtocolError(Exception):
+    """Raised on malformed or unknown wire data."""
+
+
+# -- primitive codecs ---------------------------------------------------------
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a base-128 varint."""
+    if value < 0:
+        raise ValueError(f"varints encode non-negative ints, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint at ``offset``; returns (value, next_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise ProtocolError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise ProtocolError("varint too long")
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed int to unsigned (protobuf sint encoding)."""
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def _encode_field(number: int, value: Any) -> bytes:
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        tag = encode_varint(number << 3 | _WIRE_VARINT)
+        return tag + encode_varint(zigzag_encode(value))
+    if isinstance(value, float):
+        tag = encode_varint(number << 3 | _WIRE_FIXED64)
+        return tag + struct.pack("<d", value)
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        tag = encode_varint(number << 3 | _WIRE_BYTES)
+        return tag + encode_varint(len(payload)) + payload
+    if isinstance(value, bytes):
+        tag = encode_varint(number << 3 | _WIRE_BYTES)
+        return tag + encode_varint(len(value)) + value
+    raise ProtocolError(f"unsupported field type {type(value).__name__}")
+
+
+def _skip_field(wire_type: int, data: bytes, offset: int) -> int:
+    if wire_type == _WIRE_VARINT:
+        _, offset = decode_varint(data, offset)
+        return offset
+    if wire_type == _WIRE_FIXED64:
+        return offset + 8
+    if wire_type == _WIRE_BYTES:
+        length, offset = decode_varint(data, offset)
+        return offset + length
+    raise ProtocolError(f"unsupported wire type {wire_type}")
+
+
+# -- message layer ------------------------------------------------------------
+
+#: msg_id -> message class, populated by :func:`register_message`.
+MESSAGE_REGISTRY: dict[int, Type] = {}
+
+
+def register_message(cls: Type[T]) -> Type[T]:
+    """Class decorator: validate field numbers and add to the registry."""
+    msg_id = getattr(cls, "MSG_ID", None)
+    if not isinstance(msg_id, int) or msg_id <= 0:
+        raise ProtocolError(f"{cls.__name__} needs a positive integer MSG_ID")
+    if msg_id in MESSAGE_REGISTRY:
+        raise ProtocolError(
+            f"MSG_ID {msg_id} already used by {MESSAGE_REGISTRY[msg_id].__name__}"
+        )
+    numbers = [f.metadata["field_number"] for f in fields(cls)]
+    if len(set(numbers)) != len(numbers):
+        raise ProtocolError(f"{cls.__name__} has duplicate field numbers")
+    MESSAGE_REGISTRY[msg_id] = cls
+    return cls
+
+
+def pfield(number: int, default: Any = None) -> Any:
+    """Declare a protocol field with the given wire field number."""
+    from dataclasses import field as dc_field
+
+    if number <= 0:
+        raise ProtocolError(f"field numbers must be positive, got {number}")
+    metadata = {"field_number": number}
+    if default is None:
+        return dc_field(metadata=metadata)
+    return dc_field(default=default, metadata=metadata)
+
+
+def encode_message(message: Any) -> bytes:
+    """Serialize a registered message: MSG_ID varint + field payload."""
+    cls = type(message)
+    if getattr(cls, "MSG_ID", None) not in MESSAGE_REGISTRY:
+        raise ProtocolError(f"{cls.__name__} is not a registered message")
+    body = bytearray()
+    for f in fields(cls):
+        value = getattr(message, f.name)
+        body += _encode_field(f.metadata["field_number"], value)
+    return encode_varint(cls.MSG_ID) + encode_varint(len(body)) + bytes(body)
+
+
+def decode_message(data: bytes, offset: int = 0) -> tuple[Any, int]:
+    """Deserialize one message at ``offset``; returns (message, next_offset)."""
+    msg_id, offset = decode_varint(data, offset)
+    cls = MESSAGE_REGISTRY.get(msg_id)
+    if cls is None:
+        raise ProtocolError(f"unknown MSG_ID {msg_id}")
+    length, offset = decode_varint(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise ProtocolError("truncated message body")
+
+    by_number = {f.metadata["field_number"]: f for f in fields(cls)}
+    values: dict[str, Any] = {}
+    while offset < end:
+        key, offset = decode_varint(data, offset)
+        number, wire_type = key >> 3, key & 0x7
+        f = by_number.get(number)
+        if f is None:
+            offset = _skip_field(wire_type, data, offset)
+            continue
+        if wire_type == _WIRE_VARINT:
+            raw, offset = decode_varint(data, offset)
+            decoded: Any = zigzag_decode(raw)
+            if f.type in ("bool", bool):
+                decoded = bool(decoded)
+            values[f.name] = decoded
+        elif wire_type == _WIRE_FIXED64:
+            values[f.name] = struct.unpack_from("<d", data, offset)[0]
+            offset += 8
+        elif wire_type == _WIRE_BYTES:
+            blen, offset = decode_varint(data, offset)
+            payload = data[offset : offset + blen]
+            offset += blen
+            values[f.name] = (
+                payload if f.type in ("bytes", bytes) else payload.decode("utf-8")
+            )
+        else:
+            raise ProtocolError(f"unsupported wire type {wire_type}")
+    if offset != end:
+        raise ProtocolError("message body length mismatch")
+    return cls(**values), end
+
+
+# -- concrete control-plane messages -----------------------------------------
+
+
+@register_message
+@dataclass(frozen=True)
+class CreateTenantRequest:
+    """Ask a node to instantiate a new tenant daemon."""
+
+    MSG_ID: ClassVar[int] = 1
+    tenant_id: int = pfield(1)
+    data_bytes: int = pfield(2)
+    buffer_bytes: int = pfield(3)
+
+
+@register_message
+@dataclass(frozen=True)
+class CreateTenantReply:
+    """Node's answer to a create request."""
+
+    MSG_ID: ClassVar[int] = 2
+    tenant_id: int = pfield(1)
+    port: int = pfield(2)
+    ok: bool = pfield(3, default=True)
+
+
+@register_message
+@dataclass(frozen=True)
+class DeleteTenantRequest:
+    """Ask a node to stop a tenant and delete its data directory."""
+
+    MSG_ID: ClassVar[int] = 3
+    tenant_id: int = pfield(1)
+
+
+@register_message
+@dataclass(frozen=True)
+class DeleteTenantReply:
+    """Node's answer to a delete request."""
+
+    MSG_ID: ClassVar[int] = 4
+    tenant_id: int = pfield(1)
+    ok: bool = pfield(2, default=True)
+
+
+@register_message
+@dataclass(frozen=True)
+class MigrateTenantRequest:
+    """'Migrate tenant 5 to server XYZ' — issued to the source node."""
+
+    MSG_ID: ClassVar[int] = 5
+    tenant_id: int = pfield(1)
+    target_node: str = pfield(2)
+    #: Latency setpoint for the dynamic throttle, seconds (0 = fixed).
+    setpoint: float = pfield(3, default=0.0)
+    #: Fixed throttle rate, bytes/second (used when setpoint == 0).
+    fixed_rate: float = pfield(4, default=0.0)
+
+
+@register_message
+@dataclass(frozen=True)
+class MigrateTenantAccept:
+    """Target node agrees to receive the tenant's snapshot stream."""
+
+    MSG_ID: ClassVar[int] = 6
+    tenant_id: int = pfield(1)
+    ok: bool = pfield(2, default=True)
+
+
+@register_message
+@dataclass(frozen=True)
+class MigrateTenantComplete:
+    """Source node reports handover done (with summary numbers)."""
+
+    MSG_ID: ClassVar[int] = 7
+    tenant_id: int = pfield(1)
+    duration: float = pfield(2)
+    downtime: float = pfield(3)
+    bytes_moved: int = pfield(4)
+
+
+@register_message
+@dataclass(frozen=True)
+class TenantLocationUpdate:
+    """Frontend broadcast: the tenant now lives on ``node``."""
+
+    MSG_ID: ClassVar[int] = 8
+    tenant_id: int = pfield(1)
+    node: str = pfield(2)
+    port: int = pfield(3)
+
+
+@register_message
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness/load report from a node."""
+
+    MSG_ID: ClassVar[int] = 9
+    node: str = pfield(1)
+    tenant_count: int = pfield(2)
+    disk_utilization: float = pfield(3)

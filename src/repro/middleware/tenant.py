@@ -1,0 +1,110 @@
+"""Tenant representation and registry.
+
+"Tenants are represented by globally-unique numeric IDs ... For
+customer applications, communication with a specific tenant database
+requires only knowledge of the machine on which the tenant is located
+and the tenant ID, since the database port is a fixed function of the
+ID" (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..db.engine import DatabaseEngine
+
+__all__ = ["TenantStatus", "Tenant", "tenant_port", "BASE_PORT"]
+
+#: MySQL's default port; tenant N listens on BASE_PORT + N.
+BASE_PORT = 3306
+
+
+def tenant_port(tenant_id: int) -> int:
+    """The fixed port function of a tenant id."""
+    if tenant_id < 0:
+        raise ValueError(f"tenant_id must be >= 0, got {tenant_id}")
+    return BASE_PORT + tenant_id
+
+
+class TenantStatus(enum.Enum):
+    """Lifecycle of a tenant on a node."""
+
+    ACTIVE = "active"
+    MIGRATING_OUT = "migrating-out"
+    MIGRATING_IN = "migrating-in"
+    DELETED = "deleted"
+
+
+@dataclass
+class Tenant:
+    """One tenant: a numeric id, a data directory, and a daemon.
+
+    The ``engine`` reference is swapped at migration handover; client
+    code that holds the :class:`Tenant` keeps working because it always
+    goes through :attr:`engine`.
+    """
+
+    tenant_id: int
+    engine: DatabaseEngine
+    status: TenantStatus = TenantStatus.ACTIVE
+    #: Node name currently hosting the authoritative engine.
+    node: str = ""
+    #: Migration history: (time, from_node, to_node) entries.
+    moves: list[tuple[float, str, str]] = field(default_factory=list)
+
+    @property
+    def port(self) -> int:
+        """The fixed port assigned to this tenant."""
+        return tenant_port(self.tenant_id)
+
+    @property
+    def data_bytes(self) -> int:
+        """Size of the tenant's data directory."""
+        return self.engine.data_bytes
+
+    def record_move(self, time: float, from_node: str, to_node: str) -> None:
+        """Log a completed migration."""
+        self.moves.append((time, from_node, to_node))
+        self.node = to_node
+
+
+class TenantRegistry:
+    """Id-indexed collection of tenants (one per Slacker node)."""
+
+    def __init__(self):
+        self._tenants: dict[int, Tenant] = {}
+
+    def add(self, tenant: Tenant) -> None:
+        """Register a tenant; ids must be unique on the node."""
+        if tenant.tenant_id in self._tenants:
+            raise ValueError(f"tenant {tenant.tenant_id} already registered")
+        self._tenants[tenant.tenant_id] = tenant
+
+    def remove(self, tenant_id: int) -> Tenant:
+        """Unregister and return a tenant."""
+        try:
+            return self._tenants.pop(tenant_id)
+        except KeyError:
+            raise KeyError(f"no tenant {tenant_id} on this node") from None
+
+    def get(self, tenant_id: int) -> Tenant:
+        """Look up a tenant by id."""
+        try:
+            return self._tenants[tenant_id]
+        except KeyError:
+            raise KeyError(f"no tenant {tenant_id} on this node") from None
+
+    def __contains__(self, tenant_id: int) -> bool:
+        return tenant_id in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __iter__(self):
+        return iter(self._tenants.values())
+
+    def ids(self) -> list[int]:
+        """All registered tenant ids, sorted."""
+        return sorted(self._tenants)

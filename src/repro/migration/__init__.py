@@ -1,0 +1,48 @@
+"""Migration engine: throttle, slack model, stop-and-copy, live migration,
+and the PID-driven dynamic throttle controller."""
+
+from .controller import ControllerConfig, DynamicThrottleController, LatencyController
+from .live import (
+    DeltaRound,
+    LiveMigration,
+    LiveMigrationResult,
+    MigrationAborted,
+    MigrationPhase,
+)
+from .on_demand import (
+    OnDemandMigration,
+    OnDemandMigrationResult,
+    PartialReplicaEngine,
+)
+from .shared_live import SharedMigrationResult, SharedTenantMigration
+from .slack import AdditiveSlackModel, EmpiricalSlackEstimator, RateLatencySample
+from .stop_and_copy import (
+    DumpReimportMigration,
+    StopAndCopyMigration,
+    StopAndCopyResult,
+)
+from .throttle import Throttle, ThrottleStats
+
+__all__ = [
+    "AdditiveSlackModel",
+    "ControllerConfig",
+    "DeltaRound",
+    "DumpReimportMigration",
+    "DynamicThrottleController",
+    "EmpiricalSlackEstimator",
+    "LatencyController",
+    "LiveMigration",
+    "LiveMigrationResult",
+    "MigrationAborted",
+    "MigrationPhase",
+    "OnDemandMigration",
+    "OnDemandMigrationResult",
+    "PartialReplicaEngine",
+    "RateLatencySample",
+    "SharedMigrationResult",
+    "SharedTenantMigration",
+    "StopAndCopyMigration",
+    "StopAndCopyResult",
+    "Throttle",
+    "ThrottleStats",
+]

@@ -1,0 +1,342 @@
+"""Live migration: snapshot → delta rounds → freeze-and-handover.
+
+The paper's three-step pipeline (Section 2.3.2):
+
+1. **Snapshot transferring** — stream the XtraBackup snapshot to the
+   target on-the-fly, then *prepare* it there (crash recovery) while
+   the source keeps serving queries.  This step "is by a large margin
+   the most time-consuming" and is the one the throttle meters.
+2. **Delta updating** — apply rounds of deltas read from the source's
+   binary log; each round catches the target up to the point where the
+   round started, and the next round covers what executed meanwhile.
+3. **Handover** — once deltas are "sufficiently small", a very brief
+   (sub-second) freeze: the source blocks writes, the final delta is
+   shipped, and the target becomes authoritative.
+
+The snapshot path is pipelined source-side read → throttle → network →
+target-side write through a bounded buffer, as a streamed ``xtrabackup
+| pv | nc`` pipeline would be.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from ..db.backup import DEFAULT_CHUNK_BYTES, HotBackup
+from ..db.engine import DatabaseEngine, FreezeMode
+from ..resources.server import Server
+from ..simulation import Container, Environment, Store
+from .throttle import Throttle
+
+__all__ = [
+    "MigrationAborted",
+    "MigrationPhase",
+    "DeltaRound",
+    "LiveMigrationResult",
+    "LiveMigration",
+]
+
+
+class MigrationAborted(Exception):
+    """Raised from :meth:`LiveMigration.run` when the migration is
+    cancelled before handover.  The source remains authoritative and
+    unfrozen; the partially-copied target is discarded."""
+
+    def __init__(self, reason: str = ""):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class MigrationPhase(enum.Enum):
+    """Where a live migration currently is in its pipeline."""
+
+    PENDING = "pending"
+    SNAPSHOT = "snapshot"
+    PREPARE = "prepare"
+    DELTA = "delta"
+    HANDOVER = "handover"
+    COMPLETE = "complete"
+    ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class DeltaRound:
+    """Bookkeeping for one delta-updating round."""
+
+    index: int
+    bytes_shipped: int
+    started_at: float
+    finished_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class LiveMigrationResult:
+    """Outcome of one live migration."""
+
+    tenant: str
+    started_at: float
+    finished_at: float
+    snapshot_bytes: int
+    snapshot_seconds: float
+    prepare_seconds: float
+    delta_rounds: list[DeltaRound]
+    #: Length of the freeze window (the only period writes stall).
+    downtime: float
+    target: DatabaseEngine
+
+    @property
+    def duration(self) -> float:
+        """End-to-end migration time, seconds."""
+        return self.finished_at - self.started_at
+
+    @property
+    def delta_bytes(self) -> int:
+        return sum(round.bytes_shipped for round in self.delta_rounds)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.snapshot_bytes + self.delta_bytes
+
+    @property
+    def average_rate(self) -> float:
+        """Mean transfer rate over the whole migration, bytes/second."""
+        if self.duration <= 0:
+            return 0.0
+        return self.total_bytes / self.duration
+
+
+class LiveMigration:
+    """One live migration of a tenant engine to a target server."""
+
+    #: Stop delta rounds once the pending binlog is this small.
+    DEFAULT_DELTA_THRESHOLD = 64 * 1024
+
+    def __init__(
+        self,
+        env: Environment,
+        source: DatabaseEngine,
+        target_server: Server,
+        throttle: Throttle,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        delta_threshold: int = DEFAULT_DELTA_THRESHOLD,
+        max_delta_rounds: int = 8,
+        pipeline_depth: int = 32,
+        on_handover: Optional[Callable[[DatabaseEngine], None]] = None,
+    ):
+        if delta_threshold < 0:
+            raise ValueError(f"delta_threshold must be >= 0, got {delta_threshold}")
+        if max_delta_rounds < 1:
+            raise ValueError(f"max_delta_rounds must be >= 1, got {max_delta_rounds}")
+        if pipeline_depth < 1:
+            raise ValueError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
+        self.env = env
+        self.source = source
+        self.target_server = target_server
+        self.throttle = throttle
+        self.chunk_bytes = chunk_bytes
+        self.delta_threshold = delta_threshold
+        self.max_delta_rounds = max_delta_rounds
+        self.pipeline_depth = pipeline_depth
+        self.on_handover = on_handover
+        self.phase = MigrationPhase.PENDING
+        self.backup = HotBackup(env, source, chunk_bytes=chunk_bytes)
+        self.target: Optional[DatabaseEngine] = None
+        self._abort_reason: Optional[str] = None
+
+    def abort(self, reason: str = "operator cancelled") -> None:
+        """Cancel the migration before handover.
+
+        Safe at any time: before the handover freeze the migration
+        raises :class:`MigrationAborted` at its next step and the
+        source stays authoritative; once the handover has begun (or
+        completed) the abort is refused — the target is (becoming)
+        authoritative and cancelling would lose writes.
+        """
+        if self.phase in (MigrationPhase.HANDOVER, MigrationPhase.COMPLETE):
+            raise RuntimeError(
+                f"cannot abort a migration in phase {self.phase.value}"
+            )
+        self._abort_reason = reason
+
+    def _check_abort(self) -> None:
+        if self._abort_reason is not None:
+            self.phase = MigrationPhase.ABORTED
+            if self.target is not None:
+                self.target.stop()  # discard the half-built replica
+            raise MigrationAborted(self._abort_reason)
+
+    # -- pipeline pieces -----------------------------------------------------
+
+    def _make_target(self) -> DatabaseEngine:
+        return DatabaseEngine(
+            self.env,
+            self.target_server,
+            self.source.layout,
+            name=f"{self.source.name}@{self.target_server.name}",
+            buffer_bytes=self.source.buffer_pool.capacity_pages
+            * self.source.buffer_pool.page_size,
+            costs=self.source.costs,
+        )
+
+    def _snapshot_producer(self, snapshot, chunks: Store, slots: Container):
+        """Pace chunk shipments at the throttle rate.
+
+        Each chunk's disk read is spawned asynchronously (bounded by
+        the pipeline depth), modelling xtrabackup/OS readahead keeping
+        the pipe full: a busy disk makes reads *queue*, it does not
+        make the throttle back off.  Sustained pressure beyond the
+        disk's capacity is exactly what overloads the server in the
+        paper's Figure 6.
+        """
+        in_flight: list = []
+        while not snapshot.complete and snapshot.streamed_bytes < snapshot.total_bytes:
+            if self._abort_reason is not None:
+                break
+            remaining = snapshot.total_bytes - snapshot.streamed_bytes
+            size = min(self.chunk_bytes, remaining)
+            yield from self.throttle.acquire(size)
+            yield slots.get(1)
+            snapshot.streamed_bytes += size
+            is_last = snapshot.streamed_bytes >= snapshot.total_bytes
+            in_flight.append(
+                self.env.process(self._ship_snapshot_chunk(snapshot, size, is_last, chunks))
+            )
+        for proc in in_flight:
+            if proc.is_alive:
+                yield proc
+        chunks.put(None)  # end-of-stream marker
+
+    def _ship_snapshot_chunk(
+        self, snapshot, size: int, is_last: bool, chunks: Store
+    ):
+        """Read one chunk on the source and wire it to the target."""
+        yield from self.source.server.disk.read(
+            size, sequential=True, stream=f"{self.source.name}:backup"
+        )
+        snapshot.chunks += 1
+        if is_last:
+            # The consistent-scan endpoint: redo past this LSN is the
+            # delta the prepare/delta phases must replay.
+            snapshot.end_lsn = self.source.binlog.head_lsn
+            snapshot.finished_at = self.env.now
+        yield from self.source.server.nic_out.transfer(size)
+        chunks.put(size)
+
+    def _snapshot_consumer(self, chunks: Store, slots: Container, stream: str):
+        """Write received chunks to the target disk."""
+        while True:
+            size = yield chunks.get()
+            if size is None:
+                return
+            yield from self.target_server.disk.write(
+                size, sequential=True, stream=stream
+            )
+            slots.put(1)
+
+    def _ship_delta(self, nbytes: int, throttled: bool) -> Generator:
+        """Read a binlog range on the source and wire it to the target."""
+        stream = f"{self.source.name}:binlog-ship"
+        shipped = 0
+        while shipped < nbytes:
+            size = min(self.chunk_bytes, nbytes - shipped)
+            if throttled:
+                yield from self.throttle.acquire(size)
+            yield from self.source.server.disk.read(
+                size, sequential=True, stream=stream
+            )
+            yield from self.source.server.nic_out.transfer(size)
+            shipped += size
+
+    def _delta_round(self, index: int, throttled: bool = True) -> Generator:
+        """Ship and apply everything the target is currently behind by."""
+        assert self.target is not None
+        started_at = self.env.now
+        from_lsn = self.target.replicated_lsn
+        to_lsn = self.source.binlog.head_lsn
+        pending = to_lsn - from_lsn
+        if pending > 0:
+            yield from self._ship_delta(pending, throttled=throttled)
+            yield from self.target.apply_delta_bytes(pending, to_lsn)
+        return DeltaRound(
+            index=index,
+            bytes_shipped=pending,
+            started_at=started_at,
+            finished_at=self.env.now,
+        )
+
+    # -- the migration ---------------------------------------------------------
+
+    def run(self) -> Generator:
+        """Process: run the full migration; returns the result record."""
+        started_at = self.env.now
+
+        # Step 1a: stream the snapshot (pipelined through a bounded buffer).
+        self.phase = MigrationPhase.SNAPSHOT
+        snapshot = self.backup.begin()
+        chunks = Store(self.env)
+        slots = Container(
+            self.env, capacity=self.pipeline_depth, init=self.pipeline_depth
+        )
+        stream = f"{self.source.name}:restore"
+        producer = self.env.process(
+            self._snapshot_producer(snapshot, chunks, slots)
+        )
+        consumer = self.env.process(self._snapshot_consumer(chunks, slots, stream))
+        yield self.env.all_of([producer, consumer])
+        self._check_abort()
+        snapshot_seconds = self.env.now - started_at
+
+        # Step 1b: prepare (crash recovery) on the target.
+        self.phase = MigrationPhase.PREPARE
+        prepare_started = self.env.now
+        self.target = self._make_target()
+        yield self.env.process(self.backup.prepare(snapshot, self.target))
+        self._check_abort()
+        prepare_seconds = self.env.now - prepare_started
+
+        # Step 2: delta rounds until the pending log is small enough.
+        self.phase = MigrationPhase.DELTA
+        rounds: list[DeltaRound] = []
+        while len(rounds) < self.max_delta_rounds:
+            self._check_abort()
+            pending = self.source.binlog.head_lsn - self.target.replicated_lsn
+            if pending <= self.delta_threshold:
+                break
+            round_result = yield self.env.process(
+                self._delta_round(len(rounds) + 1)
+            )
+            rounds.append(round_result)
+        self._check_abort()
+
+        # Step 3: freeze-and-handover (sub-second; final delta unthrottled).
+        self.phase = MigrationPhase.HANDOVER
+        freeze_started = self.env.now
+        self.source.freeze(FreezeMode.WRITES)
+        yield self.source.write_quiesced()
+        final_round = yield self.env.process(
+            self._delta_round(len(rounds) + 1, throttled=False)
+        )
+        rounds.append(final_round)
+        downtime = self.env.now - freeze_started
+        if self.on_handover is not None:
+            self.on_handover(self.target)
+        self.source.stop(successor=self.target)
+
+        self.phase = MigrationPhase.COMPLETE
+        return LiveMigrationResult(
+            tenant=self.source.name,
+            started_at=started_at,
+            finished_at=self.env.now,
+            snapshot_bytes=snapshot.total_bytes,
+            snapshot_seconds=snapshot_seconds,
+            prepare_seconds=prepare_seconds,
+            delta_rounds=rounds,
+            downtime=downtime,
+            target=self.target,
+        )

@@ -1,0 +1,190 @@
+"""An on-demand-pull migration baseline (Zephyr-style, Section 7).
+
+The paper's related work describes Zephyr [Elmore et al., SIGMOD'11]:
+"transfers a minimal 'wireframe' of the database and then pulls pages
+on demand from the source to the target", and makes a pointed
+observation about throttling it: "one issue with on-demand approaches
+... is that throttling is problematic, since slowing on-demand pulls
+exacerbates latency rather than mitigating it as in a throttled
+background transfer."
+
+This module implements that baseline so the claim can be measured:
+
+1. **Wireframe** — a small metadata transfer, after which ownership
+   switches immediately to the target (near-zero blackout, like
+   Zephyr).
+2. **On-demand pulls** — the target starts cold; every buffer-pool
+   miss on a page it does not yet hold becomes a *remote* fetch
+   (source disk read + network + local write), paid inside the
+   transaction's latency.
+3. **Background pusher** — the source streams not-yet-pulled pages in
+   the background through a throttle.  Slowing this throttle keeps the
+   tenant in the painful cold phase longer — the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..db.engine import DatabaseEngine
+from ..db.transactions import Transaction
+from ..resources.server import Server
+from ..resources.units import MB, PAGE_SIZE
+from ..simulation import Environment
+from .throttle import Throttle
+
+__all__ = ["OnDemandMigrationResult", "PartialReplicaEngine", "OnDemandMigration"]
+
+#: Size of the "wireframe" (schema + index metadata), bytes.
+WIREFRAME_BYTES = 4 * MB
+
+
+class PartialReplicaEngine(DatabaseEngine):
+    """A target engine whose pages may still live on the source.
+
+    A miss on a page not yet present locally triggers a remote fetch:
+    a random read on the *source* disk, a network hop, and a local
+    write — all inside the requesting transaction's latency.
+    """
+
+    def __init__(self, *args, source: DatabaseEngine, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.source = source
+        #: Pages already copied to the target (by pull or push).
+        self.present: set[int] = set()
+        self.remote_fetches = 0
+        self.remote_fetch_time = 0.0
+
+    @property
+    def pages_missing(self) -> int:
+        return self.layout.num_pages - len(self.present)
+
+    def mark_present(self, page_id: int) -> None:
+        """Record that the background pusher delivered ``page_id``."""
+        self.present.add(page_id)
+
+    def _access_page(self, txn: Transaction, page_id: int, write: bool) -> Generator:
+        if page_id not in self.present:
+            started = self.env.now
+            # Remote pull: source-side random read, the wire, local write.
+            yield from self.source.server.disk.read(PAGE_SIZE)
+            yield from self.source.server.nic_out.transfer(PAGE_SIZE)
+            yield from self.server.disk.write(PAGE_SIZE)
+            self.present.add(page_id)
+            self.remote_fetches += 1
+            self.remote_fetch_time += self.env.now - started
+        yield from super()._access_page(txn, page_id, write)
+
+
+@dataclass
+class OnDemandMigrationResult:
+    """Outcome of one on-demand migration."""
+
+    tenant: str
+    started_at: float
+    #: When ownership switched to the target (end of wireframe).
+    switched_at: float
+    #: When the last page arrived at the target.
+    finished_at: float
+    remote_fetches: int
+    pushed_pages: int
+    target: "PartialReplicaEngine"
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def switch_latency(self) -> float:
+        """Time until the target became authoritative."""
+        return self.switched_at - self.started_at
+
+
+class OnDemandMigration:
+    """Wireframe → immediate switch → pulls + throttled background push."""
+
+    def __init__(
+        self,
+        env: Environment,
+        source: DatabaseEngine,
+        target_server: Server,
+        push_throttle: Optional[Throttle] = None,
+        on_switch=None,
+    ):
+        self.env = env
+        self.source = source
+        self.target_server = target_server
+        self.push_throttle = push_throttle
+        self.on_switch = on_switch
+        self.target: Optional[PartialReplicaEngine] = None
+
+    def _make_target(self) -> PartialReplicaEngine:
+        return PartialReplicaEngine(
+            self.env,
+            self.target_server,
+            self.source.layout,
+            name=f"{self.source.name}@{self.target_server.name}",
+            buffer_bytes=self.source.buffer_pool.capacity_pages
+            * self.source.buffer_pool.page_size,
+            costs=self.source.costs,
+            source=self.source,
+        )
+
+    def _background_pusher(self, target: PartialReplicaEngine) -> Generator:
+        """Stream not-yet-present pages, oldest page id first."""
+        pushed = 0
+        stream = f"{self.source.name}:push"
+        for page_id in range(target.layout.num_pages):
+            if page_id in target.present:
+                continue
+            if self.push_throttle is not None:
+                yield from self.push_throttle.acquire(PAGE_SIZE)
+            yield from self.source.server.disk.read(
+                PAGE_SIZE, sequential=True, stream=stream
+            )
+            yield from self.source.server.nic_out.transfer(PAGE_SIZE)
+            if page_id in target.present:
+                continue  # a pull raced us while we were in flight
+            yield from self.target_server.disk.write(
+                PAGE_SIZE, sequential=True, stream=stream
+            )
+            target.mark_present(page_id)
+            pushed += 1
+        return pushed
+
+    def run(self) -> Generator:
+        """Process: run the migration; returns the result record."""
+        started_at = self.env.now
+
+        # 1. Wireframe: small, fast metadata transfer.
+        yield from self.source.server.disk.read(
+            WIREFRAME_BYTES, sequential=True, stream=f"{self.source.name}:wire"
+        )
+        yield from self.source.server.nic_out.transfer(WIREFRAME_BYTES)
+        yield from self.target_server.disk.write(
+            WIREFRAME_BYTES, sequential=True, stream=f"{self.source.name}:wire"
+        )
+
+        # 2. Immediate ownership switch: the cold target is authoritative.
+        self.target = self._make_target()
+        switched_at = self.env.now
+        if self.on_switch is not None:
+            self.on_switch(self.target)
+        # The source stops accepting new work and forwards to the target
+        # (which will pull whatever pages it needs back out of the source
+        # data files).
+        self.source.stop(successor=self.target)
+
+        # 3. Background push until every page has moved.
+        pushed = yield self.env.process(self._background_pusher(self.target))
+
+        return OnDemandMigrationResult(
+            tenant=self.source.name,
+            started_at=started_at,
+            switched_at=switched_at,
+            finished_at=self.env.now,
+            remote_fetches=self.target.remote_fetches,
+            pushed_pages=pushed,
+            target=self.target,
+        )

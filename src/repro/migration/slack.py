@@ -1,0 +1,140 @@
+"""Migration slack: the paper's Section 3 resource model.
+
+Equations 1–4 of the paper formalize slack.  Given server resources
+R0 (the usable threshold), tenant demands T1..Tn, and a combining
+function f, the migration workload M must keep ``f(T, M) <= R0``
+(Eq. 2); the slack is the largest admissible M (Eq. 3), which under
+the additive model observed by Curino et al. reduces to
+``S = R0 - sum(T)`` (Eq. 4).
+
+The paper then points out that slack need not be modelled explicitly —
+latency observed under throttled migrations reveals it.  Both views
+are implemented here:
+
+* :class:`AdditiveSlackModel` — the analytical Eq. 4 model;
+* :class:`EmpiricalSlackEstimator` — fits (rate, latency) observations
+  to find the knee: the highest migration rate whose latency stays
+  within a tolerance of a target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "AdditiveSlackModel",
+    "RateLatencySample",
+    "EmpiricalSlackEstimator",
+]
+
+
+@dataclass(frozen=True)
+class AdditiveSlackModel:
+    """Eq. 4: slack = R0 - sum(tenant demands), under additive f().
+
+    Demands and capacity share an arbitrary but common unit (the paper
+    uses CPU as its illustrative example; our experiments use disk
+    utilization).
+    """
+
+    #: Usable resource threshold R0 (<= physical capacity R).
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+
+    def combined_demand(self, demands: Iterable[float], migration: float = 0.0) -> float:
+        """The additive f(T1..Tn, M)."""
+        demands = list(demands)
+        if any(d < 0 for d in demands) or migration < 0:
+            raise ValueError("demands must be non-negative")
+        return sum(demands) + migration
+
+    def is_overloaded(self, demands: Iterable[float], migration: float = 0.0) -> bool:
+        """Eq. 2 violated: the server will accumulate SLA violations."""
+        return self.combined_demand(demands, migration) > self.capacity
+
+    def slack(self, demands: Iterable[float]) -> float:
+        """Eq. 4: resources available for migration (never negative)."""
+        return max(0.0, self.capacity - self.combined_demand(demands))
+
+
+@dataclass(frozen=True)
+class RateLatencySample:
+    """One observation: migration at ``rate`` produced ``latency``."""
+
+    #: Migration rate, bytes/second.
+    rate: float
+    #: Mean transaction latency at that rate, seconds.
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+
+
+class EmpiricalSlackEstimator:
+    """Estimates slack from observed (rate, latency) pairs.
+
+    Two notions are exposed, matching the paper's discussion:
+
+    * :meth:`max_rate_within` — the highest observed rate whose latency
+      stays under an SLA-derived bound (the "slack to be exploited",
+      which depends on the SLA);
+    * :meth:`knee_rate` — the rate where latency growth accelerates
+      most sharply (the paper's "knee point", Figure 9), found by the
+      maximum second difference of latency with respect to rate.
+    """
+
+    def __init__(self, samples: Optional[Sequence[RateLatencySample]] = None):
+        self._samples: list[RateLatencySample] = list(samples or [])
+
+    def add(self, rate: float, latency: float) -> None:
+        """Record one observation."""
+        self._samples.append(RateLatencySample(rate=rate, latency=latency))
+
+    @property
+    def samples(self) -> list[RateLatencySample]:
+        """Observations sorted by rate."""
+        return sorted(self._samples, key=lambda s: s.rate)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def max_rate_within(
+        self, latency_bound: float, predicate: Optional[Callable[[float], bool]] = None
+    ) -> Optional[float]:
+        """Highest rate whose latency satisfies the bound (or predicate).
+
+        Returns None when no observation qualifies.
+        """
+        if predicate is None:
+            if latency_bound <= 0:
+                raise ValueError(f"latency_bound must be positive, got {latency_bound}")
+            predicate = lambda latency: latency <= latency_bound  # noqa: E731
+        ok = [s.rate for s in self._samples if predicate(s.latency)]
+        return max(ok) if ok else None
+
+    def knee_rate(self) -> Optional[float]:
+        """Rate of sharpest latency acceleration (needs >= 3 samples)."""
+        ordered = self.samples
+        if len(ordered) < 3:
+            return None
+        best_rate: Optional[float] = None
+        best_curvature = float("-inf")
+        for prev, mid, nxt in zip(ordered, ordered[1:], ordered[2:]):
+            left_span = mid.rate - prev.rate
+            right_span = nxt.rate - mid.rate
+            if left_span <= 0 or right_span <= 0:
+                continue
+            left_slope = (mid.latency - prev.latency) / left_span
+            right_slope = (nxt.latency - mid.latency) / right_span
+            curvature = right_slope - left_slope
+            if curvature > best_curvature:
+                best_curvature = curvature
+                best_rate = mid.rate
+        return best_rate

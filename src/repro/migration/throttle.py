@@ -1,0 +1,130 @@
+"""Rate throttle — the ``pv`` equivalent.
+
+Slacker throttles the snapshot stream by piping it through the Linux
+utility ``pv``, which "allows for limiting the amount of data passing
+through a Unix pipe ... [and] allows for changing the throttling rate
+of an existing process ... on a second or even sub-second level
+granularity" (Section 3.1).
+
+:class:`Throttle` is the token-bucket equivalent: a refill process
+deposits ``rate`` bytes/second of credit into a bounded bucket, and a
+stream must withdraw credit for every chunk it pushes.  ``set_rate``
+takes effect from the next refill tick; a rate of zero pauses the
+stream entirely ("sometimes even pausing migration entirely to allow
+the database to recover", Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..resources.units import MB
+from ..simulation import Container, Environment
+
+__all__ = ["ThrottleStats", "Throttle"]
+
+#: Default refill tick, seconds (sub-second granularity, like pv's).
+DEFAULT_TICK = 0.05
+
+#: Default bucket depth: bounds burst after an idle period.
+DEFAULT_BUCKET_BYTES = 4 * MB
+
+
+@dataclass
+class ThrottleStats:
+    """Running counters for one throttle."""
+
+    bytes_granted: int = 0
+    grants: int = 0
+    rate_changes: int = 0
+    #: Time integral of the configured rate (for average-rate queries).
+    rate_seconds: float = 0.0
+
+
+class Throttle:
+    """A dynamically adjustable token-bucket byte-rate limiter."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rate: float,
+        bucket_bytes: float = DEFAULT_BUCKET_BYTES,
+        tick: float = DEFAULT_TICK,
+    ):
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        if bucket_bytes <= 0:
+            raise ValueError(f"bucket_bytes must be positive, got {bucket_bytes}")
+        if tick <= 0:
+            raise ValueError(f"tick must be positive, got {tick}")
+        self.env = env
+        self.tick = tick
+        self.stats = ThrottleStats()
+        self._rate = float(rate)
+        self._rate_since = env.now
+        self._start_time = env.now
+        self._bucket = Container(env, capacity=bucket_bytes, init=0.0)
+        self._running = True
+        env.process(self._refill_loop())
+
+    @property
+    def rate(self) -> float:
+        """Configured rate, bytes/second."""
+        return self._rate
+
+    @property
+    def level(self) -> float:
+        """Unused credit currently in the bucket, bytes."""
+        return self._bucket.level
+
+    def set_rate(self, rate: float) -> None:
+        """Change the rate on the fly (0 pauses the stream)."""
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self._account_rate_time()
+        if rate != self._rate:
+            self.stats.rate_changes += 1
+        self._rate = float(rate)
+
+    def average_rate(self) -> float:
+        """Time-averaged configured rate since construction, bytes/second."""
+        self._account_rate_time()
+        elapsed = self.env.now - self._start_time
+        if elapsed <= 0:
+            return self._rate
+        return self.stats.rate_seconds / elapsed
+
+    def acquire(self, nbytes: float) -> Generator:
+        """Process: block until ``nbytes`` of credit is available.
+
+        Requests larger than the bucket are split internally, so chunk
+        sizes need not be bounded by the bucket depth.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        remaining = float(nbytes)
+        while remaining > 0:
+            piece = min(remaining, self._bucket.capacity)
+            yield self._bucket.get(piece)
+            remaining -= piece
+        self.stats.bytes_granted += int(nbytes)
+        self.stats.grants += 1
+
+    def stop(self) -> None:
+        """Shut down the refill process (end of migration)."""
+        self._account_rate_time()
+        self._running = False
+
+    # -- internals ---------------------------------------------------------
+
+    def _account_rate_time(self) -> None:
+        now = self.env.now
+        self.stats.rate_seconds += self._rate * (now - self._rate_since)
+        self._rate_since = now
+
+    def _refill_loop(self):
+        while self._running:
+            yield self.env.timeout(self.tick)
+            if self._running and self._rate > 0:
+                self._bucket.put(self._rate * self.tick)

@@ -1,0 +1,38 @@
+"""Placement: when to migrate, which tenant, and where to.
+
+The paper's Section 8 lists these as synergistic questions around
+Slacker's "how".  This subpackage provides load monitoring, hotspot
+detection, tenant/target choosers, and an autonomous rebalancing
+manager built on Slacker's latency-aware migrations.
+"""
+
+from .costs import CostEstimate, CostParameters, MigrationCostBenefit
+from .manager import PlacementDecision, PlacementManager
+from .monitor import LoadMonitor, NodeLoad, TenantLoad
+from .policy import (
+    ConsolidationChooser,
+    GreedyReliefChooser,
+    HotspotDetector,
+    LatencyHotspotDetector,
+    MigrationProposal,
+    PlacementChooser,
+    UtilizationHotspotDetector,
+)
+
+__all__ = [
+    "ConsolidationChooser",
+    "CostEstimate",
+    "CostParameters",
+    "MigrationCostBenefit",
+    "GreedyReliefChooser",
+    "HotspotDetector",
+    "LatencyHotspotDetector",
+    "LoadMonitor",
+    "MigrationProposal",
+    "NodeLoad",
+    "PlacementChooser",
+    "PlacementDecision",
+    "PlacementManager",
+    "TenantLoad",
+    "UtilizationHotspotDetector",
+]

@@ -1,0 +1,148 @@
+"""Migration economics: is a migration worth its cost?
+
+Section 1.3 of the paper frames migration as a cost/benefit decision:
+"the benefits of migration come with several costs ... the unavoidable
+cost is that of copying the tenant's data ... SLA-related costs (e.g.,
+SLA penalty due to system downtime and unacceptable query latency) and
+human-related costs (e.g., costs for experienced DBAs)".  Slacker
+drives the human cost toward zero and the interference cost toward the
+setpoint's; this module makes the remaining comparison explicit.
+
+:class:`MigrationCostBenefit` compares, over a planning horizon:
+
+* **cost of staying** — the SLA penalties the hot server is currently
+  accruing, projected forward; versus
+* **cost of migrating** — penalties expected *during* the migration
+  (driven by the setpoint's relation to the SLA bound) plus a fixed
+  operational cost per migration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.sla import LatencySla, SlaMonitor
+from ..simulation.trace import Series
+
+__all__ = ["CostParameters", "CostEstimate", "MigrationCostBenefit"]
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Monetary knobs of the decision."""
+
+    #: Penalty charged per violated SLA accounting window.
+    penalty_per_window: float = 1.0
+    #: SLA accounting window length, seconds.
+    window: float = 10.0
+    #: Fixed operational cost per migration (provisioning, risk; the
+    #: "experienced DBA" line item driven low by automation).
+    migration_fixed_cost: float = 0.5
+    #: Planning horizon over which staying costs are projected, seconds.
+    horizon: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.penalty_per_window < 0 or self.migration_fixed_cost < 0:
+            raise ValueError("costs must be non-negative")
+        if self.window <= 0 or self.horizon <= 0:
+            raise ValueError("window and horizon must be positive")
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """The two sides of the decision, in penalty units."""
+
+    cost_of_staying: float
+    cost_of_migrating: float
+    expected_migration_seconds: float
+    observed_violation_rate: float
+
+    @property
+    def net_benefit(self) -> float:
+        """Positive means the migration pays for itself."""
+        return self.cost_of_staying - self.cost_of_migrating
+
+    @property
+    def worthwhile(self) -> bool:
+        return self.net_benefit > 0
+
+
+class MigrationCostBenefit:
+    """Estimates both sides of the migrate-or-stay decision."""
+
+    def __init__(
+        self,
+        sla: LatencySla,
+        params: CostParameters | None = None,
+    ):
+        self.sla = sla
+        self.params = params or CostParameters()
+        self._monitor = SlaMonitor(
+            sla, window=self.params.window, penalty=self.params.penalty_per_window
+        )
+
+    def observed_violation_rate(
+        self, latency: Series, start: float, end: float
+    ) -> float:
+        """Fraction of recent accounting windows that violated the SLA."""
+        reports = self._monitor.evaluate(latency, start, end)
+        measured = [r for r in reports if r.transactions > 0]
+        if not measured:
+            return 0.0
+        return sum(1 for r in measured if not r.satisfied) / len(measured)
+
+    def expected_migration_seconds(
+        self, data_bytes: int, expected_rate: float
+    ) -> float:
+        """Projected migration duration at the expected average rate."""
+        if data_bytes < 0:
+            raise ValueError(f"data_bytes must be >= 0, got {data_bytes}")
+        if expected_rate <= 0:
+            raise ValueError(f"expected_rate must be positive, got {expected_rate}")
+        return data_bytes / expected_rate
+
+    def estimate(
+        self,
+        latency: Series,
+        now: float,
+        lookback: float,
+        data_bytes: int,
+        expected_rate: float,
+        setpoint: float,
+    ) -> CostEstimate:
+        """Compare staying vs. migrating for a tenant.
+
+        ``setpoint`` matters because the migration's own interference is
+        bounded by it: with a setpoint at or below the SLA bound, the
+        controller keeps the server SLA-clean during the move; a
+        setpoint above the bound converts every migration window into a
+        likely violation.
+        """
+        params = self.params
+        violation_rate = self.observed_violation_rate(
+            latency, max(0.0, now - lookback), now
+        )
+        windows_per_horizon = params.horizon / params.window
+        cost_staying = (
+            violation_rate * windows_per_horizon * params.penalty_per_window
+        )
+
+        duration = self.expected_migration_seconds(data_bytes, expected_rate)
+        migration_windows = math.ceil(duration / params.window)
+        if setpoint <= self.sla.bound:
+            # The controller holds latency near the setpoint, under the
+            # bound: expect roughly the pre-existing violation rate.
+            migration_violation_rate = violation_rate
+        else:
+            migration_violation_rate = 1.0
+        cost_migrating = (
+            migration_violation_rate * migration_windows * params.penalty_per_window
+            + params.migration_fixed_cost
+        )
+        return CostEstimate(
+            cost_of_staying=cost_staying,
+            cost_of_migrating=cost_migrating,
+            expected_migration_seconds=duration,
+            observed_violation_rate=violation_rate,
+        )

@@ -1,0 +1,126 @@
+"""The placement manager: an autonomous rebalancing control loop.
+
+Glues the monitor and policies to Slacker's migration machinery: every
+snapshot interval it asks the detector *when* relief is needed, the
+chooser *which/where*, and then executes at most one latency-aware
+migration at a time (serialized — concurrent migrations would each
+consume the slack the other's PID is trying to discover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..middleware.cluster import SlackerCluster
+from ..simulation import Trace
+from .monitor import LoadMonitor
+from .policy import (
+    GreedyReliefChooser,
+    HotspotDetector,
+    LatencyHotspotDetector,
+    MigrationProposal,
+    PlacementChooser,
+)
+
+__all__ = ["PlacementDecision", "PlacementManager"]
+
+
+@dataclass
+class PlacementDecision:
+    """One executed (or skipped) rebalancing decision."""
+
+    time: float
+    proposal: MigrationProposal
+    executed: bool
+    duration: Optional[float] = None
+    downtime: Optional[float] = None
+
+
+@dataclass
+class PlacementStats:
+    """Running counters for one manager."""
+
+    snapshots: int = 0
+    migrations: int = 0
+    skipped: int = 0
+    decisions: list[PlacementDecision] = field(default_factory=list)
+
+
+class PlacementManager:
+    """Periodically detects hotspots and migrates tenants to fix them."""
+
+    def __init__(
+        self,
+        cluster: SlackerCluster,
+        trace: Trace,
+        setpoint: float,
+        detector: Optional[HotspotDetector] = None,
+        chooser: Optional[PlacementChooser] = None,
+        interval: float = 10.0,
+        cooldown: float = 30.0,
+    ):
+        if setpoint <= 0:
+            raise ValueError(f"setpoint must be positive, got {setpoint}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.cluster = cluster
+        self.monitor = LoadMonitor(cluster, trace, interval=interval)
+        self.setpoint = setpoint
+        self.detector = detector or LatencyHotspotDetector(
+            latency_threshold=setpoint
+        )
+        self.chooser = chooser or GreedyReliefChooser()
+        self.cooldown = cooldown
+        self.stats = PlacementStats()
+        self._migrating = False
+        self._cooldown_until = 0.0
+
+    def step(self):
+        """Process: one monitor snapshot + at most one migration."""
+        env = self.cluster.env
+        loads = self.monitor.snapshot()
+        self.stats.snapshots += 1
+        if self._migrating or env.now < self._cooldown_until:
+            return
+        for hot in self.detector.hot_nodes(loads):
+            proposal = self.chooser.propose(hot, loads)
+            if proposal is None:
+                continue
+            yield from self._execute(proposal)
+            break  # one migration per step
+
+    def _execute(self, proposal: MigrationProposal):
+        env = self.cluster.env
+        source = self.cluster.node(proposal.source)
+        if proposal.tenant_id not in source.registry:
+            self.stats.skipped += 1
+            self.stats.decisions.append(
+                PlacementDecision(time=env.now, proposal=proposal, executed=False)
+            )
+            return
+        self._migrating = True
+        decision = PlacementDecision(
+            time=env.now, proposal=proposal, executed=False
+        )
+        self.stats.decisions.append(decision)
+        try:
+            result = yield env.process(
+                source.migrate_tenant(
+                    proposal.tenant_id, proposal.target, setpoint=self.setpoint
+                )
+            )
+        finally:
+            self._migrating = False
+        self._cooldown_until = env.now + self.cooldown
+        self.stats.migrations += 1
+        decision.executed = True
+        decision.duration = result.duration
+        decision.downtime = result.downtime
+
+    def run(self):
+        """Process: the rebalancing loop, forever."""
+        env = self.cluster.env
+        while True:
+            yield env.timeout(self.monitor.interval)
+            yield from self.step()

@@ -1,0 +1,132 @@
+"""Load monitoring for placement decisions.
+
+Slacker answers *how* to migrate; the paper's Section 8 lists the
+complementary questions — "when migrations are necessary, which tenants
+should be migrated, and where such tenants should be migrated to" — as
+synergistic future work.  This subpackage implements that layer.
+
+:class:`LoadMonitor` periodically snapshots every node: disk
+utilization over the sampling interval (the critical resource,
+Section 5.1.2) and each tenant's mean latency over the same interval.
+Policies consume these :class:`NodeLoad` snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..middleware.cluster import SlackerCluster
+from ..simulation import Series, Trace
+
+__all__ = ["TenantLoad", "NodeLoad", "LoadMonitor"]
+
+
+@dataclass(frozen=True)
+class TenantLoad:
+    """One tenant's observed load over a sampling interval."""
+
+    tenant_id: int
+    #: Mean transaction latency over the interval, seconds (NaN if no
+    #: transaction completed).
+    mean_latency: float
+    #: Transactions completed in the interval.
+    throughput: int
+    #: Tenant data directory size, bytes (migration cost proxy).
+    data_bytes: int
+
+
+@dataclass(frozen=True)
+class NodeLoad:
+    """One node's observed load over a sampling interval."""
+
+    node: str
+    time: float
+    #: Disk busy fraction over the interval, in [0, 1].
+    disk_utilization: float
+    tenants: tuple[TenantLoad, ...] = field(default_factory=tuple)
+
+    @property
+    def tenant_count(self) -> int:
+        return len(self.tenants)
+
+    def hottest_tenant(self) -> Optional[TenantLoad]:
+        """The tenant with the highest interval latency, if any."""
+        candidates = [t for t in self.tenants if t.throughput > 0]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda t: t.mean_latency)
+
+
+class LoadMonitor:
+    """Snapshots cluster load at a fixed interval.
+
+    Latency series are the ones workload clients attach to nodes (the
+    same series the migration PID consumes), so the monitor sees
+    exactly what the controller sees.
+    """
+
+    def __init__(
+        self,
+        cluster: SlackerCluster,
+        trace: Trace,
+        interval: float = 10.0,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.cluster = cluster
+        self.trace = trace
+        self.interval = interval
+        self._last_busy: dict[str, float] = {}
+        self._last_time: dict[str, float] = {}
+        self.history: list[dict[str, NodeLoad]] = []
+
+    def _tenant_series(self, tenant_id: int) -> Optional[Series]:
+        name = f"tenant-{tenant_id}"
+        return self.trace[name] if name in self.trace else None
+
+    def snapshot(self) -> dict[str, NodeLoad]:
+        """Take one load snapshot of every node (interval-differenced)."""
+        env = self.cluster.env
+        now = env.now
+        loads: dict[str, NodeLoad] = {}
+        for name, node in self.cluster.nodes.items():
+            busy = node.server.disk.stats.busy_time
+            last_busy = self._last_busy.get(name, 0.0)
+            last_time = self._last_time.get(name, 0.0)
+            span = now - last_time
+            utilization = (busy - last_busy) / span if span > 0 else 0.0
+            self._last_busy[name] = busy
+            self._last_time[name] = now
+
+            tenants = []
+            for tenant in node.registry:
+                series = self._tenant_series(tenant.tenant_id)
+                values = (
+                    series.window_values(now - self.interval, now)
+                    if series is not None
+                    else []
+                )
+                mean = sum(values) / len(values) if values else float("nan")
+                tenants.append(
+                    TenantLoad(
+                        tenant_id=tenant.tenant_id,
+                        mean_latency=mean,
+                        throughput=len(values),
+                        data_bytes=tenant.data_bytes,
+                    )
+                )
+            loads[name] = NodeLoad(
+                node=name,
+                time=now,
+                disk_utilization=min(1.0, max(0.0, utilization)),
+                tenants=tuple(sorted(tenants, key=lambda t: t.tenant_id)),
+            )
+        self.history.append(loads)
+        return loads
+
+    def run(self):
+        """Process: snapshot forever at the configured interval."""
+        while True:
+            yield self.cluster.env.timeout(self.interval)
+            self.snapshot()

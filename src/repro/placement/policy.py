@@ -1,0 +1,230 @@
+"""Placement policies: when to migrate, which tenant, and where to.
+
+Two detectors and two choosers, composable by the
+:class:`~repro.placement.manager.PlacementManager`:
+
+* :class:`LatencyHotspotDetector` — "when": a node is hot once its
+  tenants' latency breaches an SLA-derived threshold for consecutive
+  snapshots (debounced, so a single burst does not trigger a
+  migration).
+* :class:`UtilizationHotspotDetector` — "when": disk utilization
+  threshold, the Eq. 1 view.
+* :class:`GreedyReliefChooser` — "which"/"where" for hotspot relief:
+  move the hottest (latency-wise) tenant, tie-broken toward the
+  smallest data directory (cheapest to move), to the least-utilized
+  node with headroom.
+* :class:`ConsolidationChooser` — "which"/"where" for packing: drain
+  the least-loaded node onto the fullest node that still has headroom
+  (first-fit-decreasing flavoured), freeing servers to power down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from .monitor import NodeLoad
+
+__all__ = [
+    "MigrationProposal",
+    "HotspotDetector",
+    "LatencyHotspotDetector",
+    "UtilizationHotspotDetector",
+    "PlacementChooser",
+    "GreedyReliefChooser",
+    "ConsolidationChooser",
+]
+
+
+@dataclass(frozen=True)
+class MigrationProposal:
+    """A policy's suggestion: move ``tenant_id`` from ``source`` to ``target``."""
+
+    tenant_id: int
+    source: str
+    target: str
+    reason: str
+
+
+class HotspotDetector(Protocol):
+    """Decides *when* a node needs relief."""
+
+    def hot_nodes(self, loads: dict[str, NodeLoad]) -> list[str]:
+        """Names of nodes currently needing relief."""
+        ...  # pragma: no cover
+
+
+class LatencyHotspotDetector:
+    """A node is hot when its worst tenant latency exceeds a threshold
+    for ``patience`` consecutive snapshots."""
+
+    def __init__(self, latency_threshold: float, patience: int = 2):
+        if latency_threshold <= 0:
+            raise ValueError(
+                f"latency_threshold must be positive, got {latency_threshold}"
+            )
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.latency_threshold = latency_threshold
+        self.patience = patience
+        self._streak: dict[str, int] = {}
+
+    def hot_nodes(self, loads: dict[str, NodeLoad]) -> list[str]:
+        hot = []
+        for name, load in loads.items():
+            worst = load.hottest_tenant()
+            breached = (
+                worst is not None
+                and not math.isnan(worst.mean_latency)
+                and worst.mean_latency > self.latency_threshold
+            )
+            if breached:
+                self._streak[name] = self._streak.get(name, 0) + 1
+            else:
+                self._streak[name] = 0
+            if self._streak[name] >= self.patience:
+                hot.append(name)
+        return hot
+
+
+class UtilizationHotspotDetector:
+    """A node is hot when disk utilization exceeds a threshold for
+    ``patience`` consecutive snapshots (the Eq. 1 resource view)."""
+
+    def __init__(self, utilization_threshold: float = 0.85, patience: int = 2):
+        if not 0 < utilization_threshold <= 1:
+            raise ValueError(
+                f"utilization_threshold must be in (0, 1], got {utilization_threshold}"
+            )
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.utilization_threshold = utilization_threshold
+        self.patience = patience
+        self._streak: dict[str, int] = {}
+
+    def hot_nodes(self, loads: dict[str, NodeLoad]) -> list[str]:
+        hot = []
+        for name, load in loads.items():
+            if load.disk_utilization > self.utilization_threshold:
+                self._streak[name] = self._streak.get(name, 0) + 1
+            else:
+                self._streak[name] = 0
+            if self._streak[name] >= self.patience:
+                hot.append(name)
+        return hot
+
+
+class PlacementChooser(Protocol):
+    """Decides *which* tenant moves and *where*."""
+
+    def propose(
+        self, hot: str, loads: dict[str, NodeLoad]
+    ) -> Optional[MigrationProposal]:
+        """A proposal for relieving ``hot``, or None if impossible."""
+        ...  # pragma: no cover
+
+
+class GreedyReliefChooser:
+    """Move the hottest tenant off a hot node to the coolest node."""
+
+    def __init__(self, target_headroom: float = 0.7):
+        if not 0 < target_headroom <= 1:
+            raise ValueError(
+                f"target_headroom must be in (0, 1], got {target_headroom}"
+            )
+        #: A target is eligible while its utilization stays below this.
+        self.target_headroom = target_headroom
+
+    def propose(
+        self, hot: str, loads: dict[str, NodeLoad]
+    ) -> Optional[MigrationProposal]:
+        load = loads[hot]
+        if load.tenant_count < 2 and len(loads) > 1:
+            # A lone tenant gains nothing from neighbours leaving, but
+            # still benefits from moving to an idle node if one exists.
+            pass
+        candidates = [
+            t for t in load.tenants if not math.isnan(t.mean_latency)
+        ]
+        if not candidates:
+            return None
+        # Hottest first; among near-equals prefer the cheapest to move.
+        victim = max(
+            candidates, key=lambda t: (t.mean_latency, -t.data_bytes)
+        )
+        targets = [
+            other
+            for name, other in loads.items()
+            if name != hot and other.disk_utilization < self.target_headroom
+        ]
+        if not targets:
+            return None
+        target = min(targets, key=lambda n: (n.disk_utilization, n.tenant_count))
+        return MigrationProposal(
+            tenant_id=victim.tenant_id,
+            source=hot,
+            target=target.node,
+            reason=(
+                f"hotspot relief: tenant {victim.tenant_id} at "
+                f"{victim.mean_latency * 1000:.0f} ms on {hot}; "
+                f"{target.node} at {target.disk_utilization:.0%} util"
+            ),
+        )
+
+
+class ConsolidationChooser:
+    """Drain the least-loaded node onto the fullest eligible node."""
+
+    def __init__(
+        self,
+        max_target_utilization: float = 0.5,
+        min_source_utilization: float = 0.25,
+    ):
+        if not 0 < max_target_utilization <= 1:
+            raise ValueError("max_target_utilization must be in (0, 1]")
+        if not 0 <= min_source_utilization < 1:
+            raise ValueError("min_source_utilization must be in [0, 1)")
+        self.max_target_utilization = max_target_utilization
+        self.min_source_utilization = min_source_utilization
+
+    def candidate_source(self, loads: dict[str, NodeLoad]) -> Optional[str]:
+        """The node worth draining: least-loaded, non-empty, idle enough."""
+        nonempty = [
+            load
+            for load in loads.values()
+            if load.tenant_count > 0
+            and load.disk_utilization < self.min_source_utilization
+        ]
+        if len(nonempty) < 1 or len(loads) < 2:
+            return None
+        return min(nonempty, key=lambda n: (n.tenant_count, n.disk_utilization)).node
+
+    def propose(
+        self, source: str, loads: dict[str, NodeLoad]
+    ) -> Optional[MigrationProposal]:
+        load = loads[source]
+        if load.tenant_count == 0:
+            return None
+        # Smallest tenant first: cheapest step toward an empty node.
+        victim = min(load.tenants, key=lambda t: t.data_bytes)
+        targets = [
+            other
+            for name, other in loads.items()
+            if name != source
+            and other.disk_utilization < self.max_target_utilization
+        ]
+        if not targets:
+            return None
+        # Fullest eligible target: pack, don't spread.
+        target = max(targets, key=lambda n: (n.tenant_count, n.disk_utilization))
+        return MigrationProposal(
+            tenant_id=victim.tenant_id,
+            source=source,
+            target=target.node,
+            reason=(
+                f"consolidation: drain {source} "
+                f"({load.tenant_count} tenants at "
+                f"{load.disk_utilization:.0%} util) onto {target.node}"
+            ),
+        )

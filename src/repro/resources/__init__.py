@@ -1,0 +1,43 @@
+"""Hardware resource models: disk, CPU, network links, and servers."""
+
+from .cpu import Cpu, CpuParams, CpuStats
+from .disk import Disk, DiskParams, DiskStats
+from .network import GIGABIT_BANDWIDTH, NetworkLink, NetworkParams, NetworkStats
+from .server import Server, ServerParams
+from .units import (
+    GB,
+    KB,
+    MB,
+    MILLIS,
+    PAGE_SIZE,
+    from_millis,
+    mb_per_sec,
+    to_mb,
+    to_mb_per_sec,
+    to_millis,
+)
+
+__all__ = [
+    "Cpu",
+    "CpuParams",
+    "CpuStats",
+    "Disk",
+    "DiskParams",
+    "DiskStats",
+    "GB",
+    "GIGABIT_BANDWIDTH",
+    "KB",
+    "MB",
+    "MILLIS",
+    "NetworkLink",
+    "NetworkParams",
+    "NetworkStats",
+    "PAGE_SIZE",
+    "Server",
+    "ServerParams",
+    "from_millis",
+    "mb_per_sec",
+    "to_mb",
+    "to_mb_per_sec",
+    "to_millis",
+]

@@ -1,0 +1,88 @@
+"""CPU model: a fixed number of cores shared by queries and migration.
+
+The paper's testbed uses quad-core 2.4 GHz Xeons.  CPU is rarely the
+bottleneck in its experiments (disk is), but migration still carries
+"processing overhead" (Section 3), so we model cores as a capacity-N
+queueing resource that query execution and snapshot processing both
+occupy for short slices.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..simulation import Environment, Resource
+
+__all__ = ["CpuParams", "CpuStats", "Cpu"]
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """Parameters for the server CPU."""
+
+    #: Number of hardware cores.
+    cores: int = 4
+    #: If True, requested burst lengths get exponential jitter.
+    stochastic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"cores must be positive, got {self.cores}")
+
+
+@dataclass
+class CpuStats:
+    """Running counters for one CPU."""
+
+    bursts: int = 0
+    busy_time: float = 0.0
+
+    def utilization(self, elapsed: float, cores: int) -> float:
+        """Mean fraction of total core-time spent busy over ``elapsed``."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * cores)
+
+
+class Cpu:
+    """A multi-core CPU as a capacity-``cores`` FIFO resource."""
+
+    def __init__(
+        self,
+        env: Environment,
+        params: Optional[CpuParams] = None,
+        rng: Optional[random.Random] = None,
+        name: str = "cpu",
+    ):
+        self.env = env
+        self.params = params or CpuParams()
+        self.rng = rng or random.Random(0)
+        self.name = name
+        self.stats = CpuStats()
+        self._cores = Resource(env, capacity=self.params.cores)
+
+    @property
+    def queue_length(self) -> int:
+        """Bursts waiting for a free core."""
+        return self._cores.queue_length
+
+    def burst_time(self, mean_seconds: float) -> float:
+        """Draw the actual length of a burst with the given mean."""
+        if mean_seconds < 0:
+            raise ValueError(f"mean_seconds must be >= 0, got {mean_seconds}")
+        if mean_seconds == 0:
+            return 0.0
+        if self.params.stochastic:
+            return self.rng.expovariate(1.0 / mean_seconds)
+        return mean_seconds
+
+    def execute(self, mean_seconds: float, priority: int = 0) -> Generator:
+        """Process: occupy one core for a burst of roughly ``mean_seconds``."""
+        with self._cores.request(priority=priority) as grant:
+            yield grant
+            burst = self.burst_time(mean_seconds)
+            yield self.env.timeout(burst)
+            self.stats.bursts += 1
+            self.stats.busy_time += burst

@@ -1,0 +1,88 @@
+"""Network model: full-duplex point-to-point links between servers.
+
+The paper connects its three servers with gigabit Ethernet.  At the
+paper's transfer rates (≤ 30 MB/s) the network is never the bottleneck,
+but we model it anyway: the snapshot stream traverses the source NIC,
+the wire, and the target NIC, and the target applies received chunks to
+its own disk — which matters for the Section 6 "throttle both source
+and target" extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..simulation import Environment, Resource
+from .units import MB
+
+__all__ = ["NetworkParams", "NetworkStats", "NetworkLink"]
+
+#: Usable payload bandwidth of gigabit Ethernet, bytes/second.
+GIGABIT_BANDWIDTH = 117.0 * MB
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Parameters of one direction of a network link."""
+
+    #: Usable bandwidth, bytes/second (default: gigabit Ethernet).
+    bandwidth: float = GIGABIT_BANDWIDTH
+    #: One-way propagation + stack latency, seconds.
+    latency: float = 0.2e-3
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+
+
+@dataclass
+class NetworkStats:
+    """Running counters for one link direction."""
+
+    transfers: int = 0
+    bytes_sent: int = 0
+    busy_time: float = 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / elapsed
+
+
+class NetworkLink:
+    """One direction of a point-to-point link, serialized FIFO."""
+
+    def __init__(
+        self,
+        env: Environment,
+        params: Optional[NetworkParams] = None,
+        name: str = "link",
+    ):
+        self.env = env
+        self.params = params or NetworkParams()
+        self.name = name
+        self.stats = NetworkStats()
+        self._wire = Resource(env, capacity=1)
+
+    @property
+    def queue_length(self) -> int:
+        """Transfers waiting for the wire."""
+        return self._wire.queue_length
+
+    def transfer(self, nbytes: int, priority: int = 0) -> Generator:
+        """Process: push ``nbytes`` through this link direction."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        with self._wire.request(priority=priority) as grant:
+            yield grant
+            serialization = nbytes / self.params.bandwidth
+            yield self.env.timeout(serialization)
+            self.stats.busy_time += serialization
+        # Propagation happens off the wire (pipelined with later sends).
+        if self.params.latency > 0:
+            yield self.env.timeout(self.params.latency)
+        self.stats.transfers += 1
+        self.stats.bytes_sent += nbytes

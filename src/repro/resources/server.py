@@ -1,0 +1,67 @@
+"""Physical server model: CPU + disk + NIC under one roof.
+
+A :class:`Server` bundles the three resource models into the machine a
+Slacker node runs on.  Tenant MySQL instances hosted on the server all
+share its disk and CPU — which is the whole reason migration
+interference exists (Figure 3 of the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..simulation import Environment, RandomStreams
+from .cpu import Cpu, CpuParams
+from .disk import Disk, DiskParams
+from .network import NetworkLink, NetworkParams
+
+__all__ = ["ServerParams", "Server"]
+
+
+@dataclass(frozen=True)
+class ServerParams:
+    """Hardware parameters of one server."""
+
+    cpu: CpuParams = field(default_factory=CpuParams)
+    disk: DiskParams = field(default_factory=DiskParams)
+    network: NetworkParams = field(default_factory=NetworkParams)
+
+
+class Server:
+    """A physical machine: cores, one disk spindle, and a full-duplex NIC."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        params: Optional[ServerParams] = None,
+        streams: Optional[RandomStreams] = None,
+    ):
+        self.env = env
+        self.name = name
+        self.params = params or ServerParams()
+        streams = streams or RandomStreams(0)
+        self._streams = streams
+        self.cpu = Cpu(
+            env,
+            self.params.cpu,
+            rng=streams.stream(f"{name}:cpu"),
+            name=f"{name}:cpu",
+        )
+        self.disk = Disk(
+            env,
+            self.params.disk,
+            rng=streams.stream(f"{name}:disk"),
+            name=f"{name}:disk",
+        )
+        self.nic_out = NetworkLink(env, self.params.network, name=f"{name}:nic-out")
+        self.nic_in = NetworkLink(env, self.params.network, name=f"{name}:nic-in")
+
+    def rng(self, purpose: str) -> random.Random:
+        """A deterministic per-purpose RNG tied to this server's name."""
+        return self._streams.stream(f"{self.name}:{purpose}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Server {self.name}>"

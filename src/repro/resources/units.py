@@ -1,0 +1,64 @@
+"""Unit constants and helpers shared by the resource and DB layers.
+
+Conventions used throughout the reproduction:
+
+* simulated time is in **seconds** (floats);
+* data sizes are in **bytes** (ints); and
+* rates are in **bytes per second** unless a name says otherwise.
+
+The paper quotes throttle rates in MB/sec; helpers here convert both
+ways so experiment code can speak the paper's units.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "PAGE_SIZE",
+    "mb_per_sec",
+    "to_mb",
+    "to_mb_per_sec",
+    "MILLIS",
+    "to_millis",
+    "from_millis",
+]
+
+#: One kilobyte (binary), in bytes.
+KB = 1024
+#: One megabyte (binary), in bytes.
+MB = 1024 * KB
+#: One gigabyte (binary), in bytes.
+GB = 1024 * MB
+
+#: InnoDB's default page size: 16 KB.
+PAGE_SIZE = 16 * KB
+
+#: Seconds per millisecond.
+MILLIS = 1e-3
+
+
+def mb_per_sec(rate_mb: float) -> float:
+    """Convert a rate in MB/sec (paper units) to bytes/sec."""
+    return rate_mb * MB
+
+
+def to_mb(nbytes: float) -> float:
+    """Convert a byte count to MB."""
+    return nbytes / MB
+
+
+def to_mb_per_sec(rate_bytes: float) -> float:
+    """Convert a rate in bytes/sec to MB/sec (paper units)."""
+    return rate_bytes / MB
+
+
+def to_millis(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MILLIS
+
+
+def from_millis(millis: float) -> float:
+    """Convert milliseconds to seconds."""
+    return millis * MILLIS

@@ -1,0 +1,46 @@
+"""Discrete-event simulation substrate (kernel, resources, RNG, tracing).
+
+This subpackage is self-contained and domain-agnostic: it knows nothing
+about databases or migration.  Everything above it (servers, the MySQL-
+like engine, workloads, Slacker) is built out of its processes, events,
+and resources.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+)
+from .resources import Container, PriorityResource, Request, Resource, Store
+from .rng import RandomStreams, derive_seed
+from .trace import Series, Trace, sliding_window_average
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Request",
+    "Resource",
+    "Series",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+    "Trace",
+    "derive_seed",
+    "sliding_window_average",
+]

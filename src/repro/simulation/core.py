@@ -1,0 +1,438 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, self-contained process-based
+discrete-event simulator in the style of SimPy.  Simulated activities
+are Python generators ("processes") that ``yield`` events; the
+:class:`Environment` advances virtual time from event to event.
+
+The kernel is the substrate on which the rest of the reproduction is
+built: servers, disks, database engines, workload clients, and the
+Slacker migration controller are all processes scheduled by an
+:class:`Environment`.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(5.0)
+...     return env.now
+>>> proc = env.process(hello(env))
+>>> env.run()
+>>> proc.value
+5.0
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "StopSimulation",
+]
+
+#: Sentinel marking an event that has not been triggered yet.
+_PENDING = object()
+
+#: Scheduling priority for "urgent" events (processed before normal
+#: events that share the same timestamp).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupted process may catch the exception and continue; the
+    ``cause`` attribute carries the value passed to ``interrupt()``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or
+    :meth:`fail` *triggers* it, scheduling it on the environment's
+    event queue.  When the environment pops the event it becomes
+    *processed* and all registered callbacks fire.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        # A failed event whose exception was consumed (e.g. thrown into
+        # a waiting process) is "defused" and will not crash the run.
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the environment has invoked the callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if the event succeeded, False if it failed, else None."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, for failed events)."""
+        if self._value is _PENDING:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def defused(self) -> "Event":
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self.processed
+            else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed ``delay`` of simulated time."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class _Initialize(Event):
+    """Immediate event used to start a newly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A process wraps a generator and is itself an event.
+
+    The process event triggers when the generator returns (successfully,
+    with the generator's return value) or raises (as a failure).  Other
+    processes may therefore ``yield`` a process to wait for it.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting for.
+        self._target: Optional[Event] = None
+        _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the wrapped generator has not exited."""
+        return self._value is _PENDING
+
+    @property
+    def name(self) -> str:
+        return getattr(self._generator, "__name__", repr(self._generator))
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process or a process from within itself is
+        an error.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, priority=URGENT)
+        # Detach from the event we were waiting on so that its later
+        # processing does not resume us a second time.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._target = None
+                self.succeed(exc.value)
+                break
+            except BaseException as exc:
+                self._target = None
+                self.fail(exc)
+                break
+
+            if not isinstance(next_event, Event):
+                error = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                try:
+                    self._generator.throw(error)
+                except StopIteration as exc:
+                    self.succeed(exc.value)
+                except BaseException as exc:
+                    self.fail(exc)
+                break
+
+            if next_event.callbacks is not None:
+                # Not yet processed: park until it fires.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already processed: loop and feed its value in immediately.
+            event = next_event
+
+        self.env._active_process = None
+
+
+class Condition(Event):
+    """Waits for a combination of events (used by :class:`AllOf`/:class:`AnyOf`).
+
+    The condition's value is a dict mapping each *triggered* event to
+    its value, in trigger order.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+
+        if not self._events:
+            self.succeed({})
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict:
+        return {
+            event: event._value
+            for event in self._events
+            if event.callbacks is None and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Condition that triggers once *all* events have triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda evts, count: count >= len(evts), events)
+
+
+class AnyOf(Condition):
+    """Condition that triggers once *any* event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda evts, count: count >= 1, events)
+
+
+class Environment:
+    """Execution environment that advances simulated time event by event."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds, by convention in this repo)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling / execution -------------------------------------------
+
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        time, _, _, event = heapq.heappop(self._queue)
+        self._now = time
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            # Nobody handled this failure: crash the simulation loudly,
+            # per "errors should never pass silently".
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        ``until`` may be ``None`` (drain the queue), a number (run up to
+        that simulated time), or an :class:`Event` (run until it is
+        processed, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event._value
+            stop_event.callbacks.append(self._stop_callback)
+        else:
+            at = float(until)
+            if at < self._now:
+                raise ValueError(f"until={at} is in the past (now={self._now})")
+            stop_event = Event(self)
+            stop_event._ok = True
+            stop_event._value = None
+            self._schedule(stop_event, priority=URGENT, delay=at - self._now)
+            stop_event.callbacks.append(self._stop_callback)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation:
+            if isinstance(until, Event):
+                if until._ok:
+                    return until._value
+                raise until._value
+            return None
+        if isinstance(until, Event) and not until.processed:
+            raise SimulationError("run() queue drained before `until` event fired")
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation()

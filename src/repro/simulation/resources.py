@@ -1,0 +1,207 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Provides the queueing building blocks used throughout the reproduction:
+
+* :class:`Resource` — a server with fixed capacity and a FIFO queue
+  (disk arms, CPU cores, client threads).
+* :class:`PriorityResource` — same, but requests carry priorities
+  (lower value = served first).
+* :class:`Container` — a continuous level that processes put into and
+  get from (the token bucket of the migration throttle).
+* :class:`Store` — a FIFO queue of discrete items (message queues in
+  the middleware layer).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Optional
+
+from .core import Environment, Event
+
+__all__ = [
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "Container",
+    "Store",
+]
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`.
+
+    Usable as a context manager so the resource is always released:
+
+    >>> with resource.request() as req:   # doctest: +SKIP
+    ...     yield req
+    ...     ...  # use the resource
+    """
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.granted_at: Optional[float] = None
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the claim (granted) or withdraw it (still queued)."""
+        self.resource._do_release(self)
+
+
+class Resource:
+    """A capacity-limited resource with a FIFO request queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self._queue: list[tuple[int, int, Request]] = []
+        self._seq = itertools.count()
+
+    @property
+    def count(self) -> int:
+        """Number of granted (in-use) requests."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for capacity."""
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim one unit of capacity; the returned event fires when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Release a granted request (alias usable without ``with``)."""
+        self._do_release(request)
+
+    # -- internals --------------------------------------------------------
+
+    def _do_request(self, request: Request) -> None:
+        heapq.heappush(self._queue, (request.priority, next(self._seq), request))
+        self._trigger()
+
+    def _do_release(self, request: Request) -> None:
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Not granted yet: withdraw from the wait queue instead.
+            self._queue = [entry for entry in self._queue if entry[2] is not request]
+            heapq.heapify(self._queue)
+            return
+        self._trigger()
+
+    def _trigger(self) -> None:
+        while self._queue and len(self.users) < self.capacity:
+            _, _, request = heapq.heappop(self._queue)
+            self.users.append(request)
+            request.granted_at = self.env.now
+            request.succeed()
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue is ordered by request priority.
+
+    Lower ``priority`` values are granted first; ties are FIFO.
+    """
+
+
+class Container:
+    """A continuous quantity with blocking ``get`` and non-blocking ``put``.
+
+    Waiting ``get`` requests are served strictly FIFO: a large request
+    at the head of the queue blocks smaller ones behind it, which is
+    the behaviour needed for a fair token-bucket throttle.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init level {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: list[tuple[Event, float]] = []
+
+    @property
+    def level(self) -> float:
+        """Currently available amount."""
+        return self._level
+
+    def put(self, amount: float) -> None:
+        """Add ``amount``, clamped to capacity, and wake waiting getters."""
+        if amount < 0:
+            raise ValueError(f"cannot put negative amount {amount}")
+        self._level = min(self.capacity, self._level + amount)
+        self._serve()
+
+    def get(self, amount: float) -> Event:
+        """Return an event that fires once ``amount`` can be withdrawn."""
+        if amount < 0:
+            raise ValueError(f"cannot get negative amount {amount}")
+        if amount > self.capacity:
+            raise ValueError(
+                f"get({amount}) exceeds container capacity {self.capacity}"
+            )
+        event = Event(self.env)
+        self._getters.append((event, amount))
+        self._serve()
+        return event
+
+    def _serve(self) -> None:
+        while self._getters:
+            event, amount = self._getters[0]
+            if amount > self._level:
+                break
+            self._getters.pop(0)
+            self._level -= amount
+            event.succeed(amount)
+
+
+class Store:
+    """An unbounded FIFO queue of discrete items with blocking ``get``."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+
+    @property
+    def items(self) -> list[Any]:
+        """The queued items (oldest first); do not mutate."""
+        return self._items
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item`` and wake the oldest waiting getter, if any."""
+        self._items.append(item)
+        self._serve()
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._serve()
+        return event
+
+    def _serve(self) -> None:
+        while self._getters and self._items:
+            event = self._getters.pop(0)
+            event.succeed(self._items.pop(0))

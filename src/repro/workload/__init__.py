@@ -1,0 +1,70 @@
+"""YCSB-style transactional benchmark (the paper's modified YCSB).
+
+Key distributions, operation mixes, transaction factories, open
+(Poisson) and closed arrival processes, and MPL-limited clients.
+"""
+
+from .client import DEFAULT_MPL, BenchmarkClient, ClientStats, ClosedBenchmarkClient
+from .distributions import (
+    HotspotChooser,
+    KeyChooser,
+    LatestChooser,
+    UniformChooser,
+    ZipfianChooser,
+)
+from .generator import (
+    DEFAULT_OPS_PER_TXN,
+    ArrivalProcess,
+    BurstModulator,
+    FixedIntervalArrivals,
+    MarkovModulatedArrivals,
+    PoissonArrivals,
+    TransactionFactory,
+)
+from .replay import (
+    RecordingArrivals,
+    ReplayArrivals,
+    load_trace,
+    save_trace,
+)
+from .mix import (
+    SLACKER_MIX,
+    YCSB_A,
+    YCSB_B,
+    YCSB_C,
+    YCSB_D,
+    YCSB_E,
+    YCSB_F,
+    OperationMix,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BenchmarkClient",
+    "BurstModulator",
+    "ClientStats",
+    "ClosedBenchmarkClient",
+    "DEFAULT_MPL",
+    "DEFAULT_OPS_PER_TXN",
+    "FixedIntervalArrivals",
+    "HotspotChooser",
+    "KeyChooser",
+    "MarkovModulatedArrivals",
+    "LatestChooser",
+    "OperationMix",
+    "PoissonArrivals",
+    "RecordingArrivals",
+    "ReplayArrivals",
+    "SLACKER_MIX",
+    "TransactionFactory",
+    "UniformChooser",
+    "YCSB_A",
+    "YCSB_B",
+    "YCSB_C",
+    "YCSB_D",
+    "YCSB_E",
+    "YCSB_F",
+    "ZipfianChooser",
+    "load_trace",
+    "save_trace",
+]

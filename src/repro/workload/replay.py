@@ -1,0 +1,92 @@
+"""Workload recording and replay.
+
+For debugging and A/B comparisons ("run the exact same arrival pattern
+against two configurations"), an arrival process can be *recorded* to a
+trace of timestamps and *replayed* bit-exactly later — e.g. comparing a
+fixed and a dynamic throttle against the identical burst pattern rather
+than two different random draws.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from .generator import ArrivalProcess
+
+__all__ = ["RecordingArrivals", "ReplayArrivals", "save_trace", "load_trace"]
+
+
+class RecordingArrivals:
+    """Wraps an arrival process and records every inter-arrival gap."""
+
+    def __init__(self, inner: ArrivalProcess):
+        self.inner = inner
+        self.gaps: list[float] = []
+
+    def next_interarrival(self) -> float:
+        gap = self.inner.next_interarrival()
+        self.gaps.append(gap)
+        return gap
+
+    # rate controls pass through, so Figure-13a-style surges still work
+    def set_rate(self, rate: float) -> None:
+        self.inner.set_rate(rate)
+
+    def scale_rate(self, factor: float) -> None:
+        self.inner.scale_rate(factor)
+
+    @property
+    def rate(self) -> float:
+        return self.inner.rate
+
+
+class ReplayArrivals:
+    """Replays a recorded gap sequence, then optionally falls back.
+
+    With no fallback, exhausting the recording raises — replay runs
+    should not silently drift into fresh randomness.
+    """
+
+    def __init__(
+        self,
+        gaps: Iterable[float],
+        fallback: Optional[ArrivalProcess] = None,
+    ):
+        self.gaps = list(gaps)
+        if any(g < 0 for g in self.gaps):
+            raise ValueError("recorded gaps must be non-negative")
+        self.fallback = fallback
+        self._index = 0
+
+    @property
+    def remaining(self) -> int:
+        """Recorded gaps not yet replayed."""
+        return len(self.gaps) - self._index
+
+    def next_interarrival(self) -> float:
+        if self._index < len(self.gaps):
+            gap = self.gaps[self._index]
+            self._index += 1
+            return gap
+        if self.fallback is not None:
+            return self.fallback.next_interarrival()
+        raise RuntimeError(
+            f"replay exhausted after {len(self.gaps)} arrivals and no "
+            "fallback was provided"
+        )
+
+
+def save_trace(path: str, gaps: Iterable[float]) -> None:
+    """Persist a recorded gap sequence as JSON."""
+    with open(path, "w") as f:
+        json.dump({"format": "repro-arrivals-v1", "gaps": list(gaps)}, f)
+
+
+def load_trace(path: str) -> list[float]:
+    """Load a gap sequence saved by :func:`save_trace`."""
+    with open(path) as f:
+        payload = json.load(f)
+    if payload.get("format") != "repro-arrivals-v1":
+        raise ValueError(f"{path} is not a repro arrivals trace")
+    return [float(g) for g in payload["gaps"]]

@@ -1,0 +1,59 @@
+"""Tests for the ablation drivers (tiny scale: mechanics, not shapes)."""
+
+import math
+
+from repro.experiments import ablations
+
+SCALE = 0.25
+
+
+class TestPidForms:
+    def test_both_forms_run(self):
+        results = ablations.run_pid_forms(scale=SCALE)
+        assert set(results) == {"velocity", "positional"}
+        for result in results.values():
+            assert result.migration_duration > 0
+            assert not math.isnan(result.mean_latency)
+            assert result.seconds_far_above_setpoint >= 0
+
+
+class TestWindowSizes:
+    def test_sweep_runs(self):
+        results = ablations.run_window_sizes(scale=SCALE, windows=(1.0, 3.0))
+        assert set(results) == {1.0, 3.0}
+        for result in results.values():
+            assert result.mean_latency > 0
+            assert result.throttle_stddev >= 0
+            assert result.migration_duration > 0
+
+
+class TestOpenVsClosed:
+    def test_both_generators_run(self):
+        results = ablations.run_open_vs_closed(scale=SCALE)
+        assert set(results) == {"open", "closed"}
+        assert results["open"].completed > 0
+        assert results["closed"].completed > 0
+
+    def test_closed_latency_bounded(self):
+        results = ablations.run_open_vs_closed(scale=SCALE)
+        # the closed generator cannot queue unboundedly: its worst mean
+        # stays within MPL * (a few seconds of service)
+        assert results["closed"].mean_latency < results["open"].mean_latency
+
+
+class TestGainVariants:
+    def test_default_variants_run(self):
+        results = ablations.run_gain_variants(scale=SCALE)
+        assert "paper (Kd large, Ki small)" in results
+        for result in results.values():
+            assert result.average_rate_mb > 0
+            assert result.latency_stddev >= 0
+
+    def test_custom_variants(self):
+        from repro.control.pid import PidGains
+
+        results = ablations.run_gain_variants(
+            scale=SCALE, variants={"p-only": PidGains(0.05, 0.0, 0.0)}
+        )
+        assert set(results) == {"p-only"}
+        assert results["p-only"].gains.ki == 0.0

@@ -1,0 +1,190 @@
+"""Tests for the admin console, ASCII plotting, and setpoint suggestion."""
+
+import pytest
+
+from repro.analysis.plot import ascii_chart, sparkline
+from repro.core import EVALUATION, Slacker
+from repro.core.sla import LatencySla, suggest_setpoint
+from repro.experiments import scaled_config
+from repro.middleware.admin import AdminConsole, AdminError, parse
+from repro.resources.units import GB, MB
+from repro.simulation import Series
+
+TINY = scaled_config(EVALUATION, 32 * MB / EVALUATION.tenant.data_bytes)
+
+
+class TestAdminParser:
+    def test_status(self):
+        assert parse("status").verb == "status"
+
+    def test_locate(self):
+        cmd = parse("locate tenant 5")
+        assert (cmd.verb, cmd.tenant_id) == ("locate", 5)
+
+    def test_create_with_size(self):
+        cmd = parse("create tenant 3 on node-a size 512MB")
+        assert cmd.verb == "create"
+        assert cmd.tenant_id == 3
+        assert cmd.node == "node-a"
+        assert cmd.size_bytes == 512 * MB
+
+    def test_create_gb_size(self):
+        assert parse("create tenant 1 on n size 1GB").size_bytes == 1 * GB
+
+    def test_create_without_size(self):
+        assert parse("create tenant 3 on node-a").size_bytes is None
+
+    def test_migrate_paperlike_command(self):
+        cmd = parse("migrate tenant 5 to server-XYZ")
+        assert (cmd.verb, cmd.tenant_id, cmd.node) == ("migrate", 5, "server-XYZ")
+        assert cmd.setpoint is None and cmd.rate is None
+
+    def test_migrate_with_setpoint_ms(self):
+        assert parse("migrate tenant 5 to b setpoint 1500ms").setpoint == 1.5
+
+    def test_migrate_with_setpoint_s(self):
+        assert parse("migrate tenant 5 to b setpoint 2s").setpoint == 2.0
+
+    def test_migrate_with_rate(self):
+        assert parse("migrate tenant 5 to b rate 8MB/s").rate == 8 * MB
+
+    def test_delete(self):
+        assert parse("delete tenant 9").tenant_id == 9
+
+    @pytest.mark.parametrize("bad", [
+        "", "explode", "locate 5", "create tenant x on", "delete 5",
+        "migrate tenant 5", "migrate tenant 5 to b warp 9",
+        "migrate tenant 5 to b setpoint fast",
+        "migrate tenant 5 to b rate slow",
+        "create tenant 1 on n size big",
+    ])
+    def test_bad_commands_rejected(self, bad):
+        with pytest.raises((AdminError, ValueError)):
+            parse(bad)
+
+
+class TestAdminConsole:
+    def make(self):
+        slacker = Slacker(TINY, nodes=["alpha", "beta"])
+        return slacker, AdminConsole(
+            slacker.cluster, default_tenant_bytes=16 * MB
+        )
+
+    def test_create_locate_status_delete(self):
+        slacker, console = self.make()
+        out = console.execute("create tenant 7 on alpha size 16MB")
+        assert "created tenant 7" in out
+        assert "alpha" in console.execute("locate tenant 7")
+        status = console.execute("status")
+        assert "alpha" in status and "7" in status
+        out = console.execute("delete tenant 7")
+        assert "deleted" in out
+        assert "unknown" in console.execute("locate tenant 7")
+
+    def test_migrate_via_console(self):
+        slacker, console = self.make()
+        console.execute("create tenant 7 on alpha size 16MB")
+        slacker.advance(1.0)
+        out = console.execute("migrate tenant 7 to beta rate 8MB/s")
+        assert "alpha -> beta" in out
+        assert slacker.locate(7) == "beta"
+
+    def test_migrate_with_setpoint(self):
+        slacker, console = self.make()
+        console.execute("create tenant 7 on alpha size 16MB")
+        out = console.execute("migrate tenant 7 to beta setpoint 500ms")
+        assert "downtime" in out
+
+    def test_unknown_node_reported(self):
+        slacker, console = self.make()
+        with pytest.raises(AdminError, match="no node"):
+            console.execute("create tenant 1 on nowhere")
+
+    def test_unknown_tenant_reported(self):
+        slacker, console = self.make()
+        with pytest.raises(AdminError, match="unknown tenant"):
+            console.execute("migrate tenant 42 to beta")
+
+    def test_command_log(self):
+        slacker, console = self.make()
+        console.execute("status")
+        console.execute("create tenant 1 on alpha")
+        assert console.log == ["status", "create tenant 1 on alpha"]
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_is_flat(self):
+        line = sparkline([5.0] * 10)
+        assert set(line) == {"▁"}
+
+    def test_rising_values_rise(self):
+        line = sparkline(list(range(8)), width=8)
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_downsamples_to_width(self):
+        line = sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+    def test_nan_filtered(self):
+        assert sparkline([float("nan")]) == ""
+
+
+class TestAsciiChart:
+    def make_series(self, name, fn, n=50):
+        s = Series(name)
+        for i in range(n):
+            s.append(float(i), fn(i))
+        return s
+
+    def test_dimensions(self):
+        s = self.make_series("a", lambda i: i)
+        chart = ascii_chart(s, width=40, height=8)
+        lines = chart.splitlines()
+        assert lines[0] == "+" + "-" * 40 + "+"
+        assert len([l for l in lines if l.startswith("|")]) == 8
+
+    def test_two_series_legend(self):
+        a = self.make_series("rate", lambda i: i)
+        b = self.make_series("latency", lambda i: 50 - i)
+        chart = ascii_chart(a, b)
+        assert "rate" in chart and "latency" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_empty_series(self):
+        assert ascii_chart(Series("x")) == "(no data)"
+
+    def test_validation(self):
+        s = self.make_series("a", lambda i: i)
+        with pytest.raises(ValueError):
+            ascii_chart(s, width=2)
+        with pytest.raises(ValueError):
+            ascii_chart(s, start=10, end=5)
+
+
+class TestSuggestSetpoint:
+    def test_cap_when_baseline_low(self):
+        sla = LatencySla(percentile=95, bound=2.0)
+        assert suggest_setpoint(sla, [0.08] * 50) == pytest.approx(1.6)
+
+    def test_floor_when_baseline_high(self):
+        sla = LatencySla(percentile=95, bound=2.0)
+        assert suggest_setpoint(sla, [1.0] * 50) == pytest.approx(2.0)
+
+    def test_empty_baseline_uses_cap(self):
+        sla = LatencySla(percentile=95, bound=1.0)
+        assert suggest_setpoint(sla, []) == pytest.approx(0.8)
+
+    def test_validation(self):
+        sla = LatencySla(percentile=95, bound=1.0)
+        with pytest.raises(ValueError):
+            suggest_setpoint(sla, [0.1], safety_factor=0)
+        with pytest.raises(ValueError):
+            suggest_setpoint(sla, [0.1], min_headroom=0.5)

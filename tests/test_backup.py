@@ -1,0 +1,115 @@
+"""Tests for the XtraBackup-like hot backup tool."""
+
+import pytest
+
+from repro.db.backup import HotBackup
+from repro.db.engine import DatabaseEngine
+from repro.db.transactions import Operation, OpType, Transaction
+from repro.resources.units import MB
+from tests.conftest import run_process
+
+
+def stream_all(env, backup, snapshot):
+    """Process: read chunks until the snapshot completes."""
+    while not snapshot.complete:
+        yield env.process(backup.read_chunk(snapshot))
+
+
+class TestHotBackup:
+    def test_chunk_size_validation(self, env, engine):
+        with pytest.raises(ValueError):
+            HotBackup(env, engine, chunk_bytes=0)
+
+    def test_begin_records_lsn_and_size(self, env, engine):
+        txn = Transaction(1, [Operation(OpType.UPDATE, 0)], arrived_at=0.0)
+        run_process(env, engine.execute(txn))
+        backup = HotBackup(env, engine)
+        snapshot = backup.begin()
+        assert snapshot.start_lsn == engine.binlog.head_lsn
+        assert snapshot.total_bytes == engine.data_bytes
+        assert snapshot.progress == 0.0
+        assert not snapshot.complete
+
+    def test_stream_covers_whole_database(self, env, engine):
+        backup = HotBackup(env, engine, chunk_bytes=1 * MB)
+        snapshot = backup.begin()
+        run_process(env, stream_all(env, backup, snapshot))
+        assert snapshot.complete
+        assert snapshot.streamed_bytes == engine.data_bytes
+        assert snapshot.progress == 1.0
+        assert snapshot.chunks == -(-engine.data_bytes // (1 * MB))
+
+    def test_end_lsn_captures_concurrent_writes(self, env, engine):
+        backup = HotBackup(env, engine, chunk_bytes=1 * MB)
+        snapshot = backup.begin()
+
+        def concurrent_writer(env, engine):
+            yield env.timeout(0.01)
+            txn = Transaction(
+                engine.new_txn_id(),
+                [Operation(OpType.UPDATE, k) for k in range(5)],
+                arrived_at=env.now,
+            )
+            yield env.process(engine.execute(txn))
+
+        env.process(concurrent_writer(env, engine))
+        run_process(env, stream_all(env, backup, snapshot))
+        assert snapshot.end_lsn == engine.binlog.head_lsn
+        assert snapshot.redo_bytes > 0
+
+    def test_redo_bytes_requires_completion(self, env, engine):
+        backup = HotBackup(env, engine)
+        snapshot = backup.begin()
+        with pytest.raises(ValueError):
+            snapshot.redo_bytes
+
+    def test_read_chunk_after_complete_returns_none(self, env, engine):
+        backup = HotBackup(env, engine, chunk_bytes=engine.data_bytes)
+        snapshot = backup.begin()
+        run_process(env, stream_all(env, backup, snapshot))
+        result = run_process(env, backup.read_chunk(snapshot))
+        assert result is None
+
+    def test_prepare_requires_complete_snapshot(self, env, engine, server):
+        backup = HotBackup(env, engine)
+        snapshot = backup.begin()
+        target = DatabaseEngine(
+            env, server, engine.layout, name="target", buffer_bytes=2 * MB
+        )
+        with pytest.raises(RuntimeError):
+            run_process(env, backup.prepare(snapshot, target))
+
+    def test_prepare_brings_target_to_end_lsn(self, env, engine, server):
+        txn = Transaction(
+            engine.new_txn_id(),
+            [Operation(OpType.UPDATE, k) for k in range(3)],
+            arrived_at=0.0,
+        )
+        run_process(env, engine.execute(txn))
+        backup = HotBackup(env, engine, chunk_bytes=4 * MB)
+        snapshot = backup.begin()
+
+        def writer_during_scan(env, engine):
+            yield env.timeout(0.005)
+            txn = Transaction(
+                engine.new_txn_id(),
+                [Operation(OpType.UPDATE, 9)],
+                arrived_at=env.now,
+            )
+            yield env.process(engine.execute(txn))
+
+        env.process(writer_during_scan(env, engine))
+        run_process(env, stream_all(env, backup, snapshot))
+        target = DatabaseEngine(
+            env, server, engine.layout, name="target", buffer_bytes=2 * MB
+        )
+        run_process(env, backup.prepare(snapshot, target))
+        assert target.replicated_lsn == snapshot.end_lsn
+
+    def test_snapshot_consumes_source_disk_time(self, env, engine):
+        backup = HotBackup(env, engine, chunk_bytes=1 * MB)
+        snapshot = backup.begin()
+        before = engine.server.disk.stats.busy_time
+        run_process(env, stream_all(env, backup, snapshot))
+        assert engine.server.disk.stats.busy_time > before
+        assert engine.server.disk.stats.bytes_read >= engine.data_bytes

@@ -1,0 +1,172 @@
+"""Tests for the open and closed benchmark clients."""
+
+import random
+
+import pytest
+
+from repro.simulation import Trace
+from repro.workload.client import BenchmarkClient, ClosedBenchmarkClient
+from repro.workload.distributions import UniformChooser
+from repro.workload.generator import FixedIntervalArrivals, TransactionFactory
+from repro.workload.mix import YCSB_C
+
+
+def make_factory(engine, rng_seed=1):
+    layout = engine.layout
+    chooser = UniformChooser(layout.num_rows, random.Random(rng_seed))
+    return TransactionFactory(
+        layout, chooser, random.Random(rng_seed + 1), mix=YCSB_C, ops_per_txn=2
+    )
+
+
+class TestBenchmarkClient:
+    def test_mpl_validation(self, env, engine):
+        with pytest.raises(ValueError):
+            BenchmarkClient(
+                env, engine, make_factory(engine), FixedIntervalArrivals(1), mpl=0
+            )
+
+    def test_double_start_rejected(self, env, engine):
+        client = BenchmarkClient(
+            env, engine, make_factory(engine), FixedIntervalArrivals(1)
+        )
+        client.start()
+        with pytest.raises(RuntimeError):
+            client.start()
+
+    def test_latencies_recorded(self, env, engine):
+        trace = Trace()
+        client = BenchmarkClient(
+            env,
+            engine,
+            make_factory(engine),
+            FixedIntervalArrivals(10.0),
+            trace=trace,
+            series="lat",
+        )
+        client.start()
+        env.run(until=5.0)
+        client.stop()
+        assert client.stats.completed > 20
+        assert len(trace["lat"]) == client.stats.completed
+        assert all(v > 0 for v in trace["lat"].values)
+
+    def test_arrivals_counted(self, env, engine):
+        client = BenchmarkClient(
+            env, engine, make_factory(engine), FixedIntervalArrivals(10.0)
+        )
+        client.start()
+        env.run(until=2.05)
+        assert client.stats.arrived == 20
+
+    def test_stop_halts_arrivals(self, env, engine):
+        client = BenchmarkClient(
+            env, engine, make_factory(engine), FixedIntervalArrivals(10.0)
+        )
+        client.start()
+        env.run(until=1.0)
+        client.stop()
+        arrived = client.stats.arrived
+        env.run(until=5.0)
+        assert client.stats.arrived <= arrived + 1
+
+    def test_mpl_limits_concurrency(self, env, engine):
+        # Freeze the engine so transactions pile up: with MPL 2 only two
+        # can be 'executing'; the rest queue at the client.
+        from repro.db.engine import FreezeMode
+
+        engine.freeze(FreezeMode.ALL)
+        client = BenchmarkClient(
+            env, engine, make_factory(engine), FixedIntervalArrivals(100.0), mpl=2
+        )
+        client.start()
+        env.run(until=0.5)
+        assert client.queue_length >= 40
+        assert client.stats.in_system == client.stats.arrived
+
+    def test_latency_includes_queue_time(self, env, engine):
+        from repro.db.engine import FreezeMode
+
+        engine.freeze(FreezeMode.ALL)
+        client = BenchmarkClient(
+            env, engine, make_factory(engine), FixedIntervalArrivals(100.0), mpl=1
+        )
+        client.start()
+        env.run(until=1.0)
+        engine.thaw()
+        env.run(until=10.0)
+        client.stop()
+        # the first transactions waited for the thaw: ~1s latencies
+        assert max(client.latencies.values) > 0.5
+
+    def test_follows_tenant_across_engine_swap(self, env, server, engine):
+        from repro.db.engine import DatabaseEngine
+
+        class TenantLike:
+            def __init__(self, engine):
+                self.engine = engine
+
+        tenant = TenantLike(engine)
+        client = BenchmarkClient(
+            env, tenant, make_factory(engine), FixedIntervalArrivals(5.0)
+        )
+        client.start()
+        env.run(until=2.0)
+        replacement = DatabaseEngine(
+            env, server, engine.layout, name="replacement", buffer_bytes=2 * 1024 * 1024
+        )
+        tenant.engine = replacement
+        env.run(until=4.0)
+        client.stop()
+        assert replacement.stats.committed > 0
+
+    def test_rejects_non_engine_target(self, env, engine):
+        client = BenchmarkClient(
+            env, object(), make_factory(engine), FixedIntervalArrivals(5.0)
+        )
+        client.start()
+        with pytest.raises(TypeError):
+            env.run(until=1.0)
+
+
+class TestClosedBenchmarkClient:
+    def test_validation(self, env, engine):
+        with pytest.raises(ValueError):
+            ClosedBenchmarkClient(env, engine, make_factory(engine), mpl=0)
+        with pytest.raises(ValueError):
+            ClosedBenchmarkClient(
+                env, engine, make_factory(engine), think_time=-1
+            )
+
+    def test_mpl_users_run_serially_each(self, env, engine):
+        client = ClosedBenchmarkClient(env, engine, make_factory(engine), mpl=3)
+        client.start()
+        env.run(until=2.0)
+        client.stop()
+        assert client.stats.completed > 0
+        # closed loop: in-flight never exceeds MPL
+        assert client.stats.in_system <= 3
+
+    def test_think_time_slows_users(self, env, engine):
+        fast = ClosedBenchmarkClient(
+            env, engine, make_factory(engine), mpl=1, think_time=0.0
+        )
+        fast.start()
+        env.run(until=2.0)
+        fast.stop()
+
+        env2_engine = engine  # reuse same env/engine for the slow client
+        slow = ClosedBenchmarkClient(
+            env, engine, make_factory(engine), mpl=1, think_time=0.5
+        )
+        slow.start()
+        start_completed = slow.stats.completed
+        env.run(until=4.0)
+        slow.stop()
+        assert fast.stats.completed > slow.stats.completed - start_completed
+
+    def test_double_start_rejected(self, env, engine):
+        client = ClosedBenchmarkClient(env, engine, make_factory(engine))
+        client.start()
+        with pytest.raises(RuntimeError):
+            client.start()

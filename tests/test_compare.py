@@ -1,0 +1,111 @@
+"""Tests for the statistical comparison utilities."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.compare import (
+    bootstrap_difference,
+    bootstrap_mean_ci,
+    mann_whitney_u,
+)
+
+
+class TestBootstrapMeanCi:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], n_resamples=10)
+
+    def test_interval_brackets_the_mean(self):
+        rng = random.Random(1)
+        sample = [rng.gauss(10.0, 2.0) for _ in range(200)]
+        ci = bootstrap_mean_ci(sample, rng=random.Random(2))
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.estimate == pytest.approx(10.0, abs=0.6)
+        assert 10.0 in ci
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = random.Random(1)
+        small = [rng.gauss(0, 1) for _ in range(30)]
+        large = [rng.gauss(0, 1) for _ in range(3000)]
+        ci_small = bootstrap_mean_ci(small, rng=random.Random(2))
+        ci_large = bootstrap_mean_ci(large, rng=random.Random(2))
+        assert (ci_large.high - ci_large.low) < (ci_small.high - ci_small.low)
+
+    def test_deterministic_given_rng(self):
+        sample = [float(i) for i in range(50)]
+        a = bootstrap_mean_ci(sample, rng=random.Random(7))
+        b = bootstrap_mean_ci(sample, rng=random.Random(7))
+        assert (a.low, a.high) == (b.low, b.high)
+
+
+class TestBootstrapDifference:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_difference([], [1.0])
+
+    def test_clear_difference_excludes_zero(self):
+        rng = random.Random(3)
+        a = [rng.gauss(10, 1) for _ in range(150)]
+        b = [rng.gauss(5, 1) for _ in range(150)]
+        ci = bootstrap_difference(a, b, rng=random.Random(4))
+        assert ci.excludes_zero
+        assert ci.estimate == pytest.approx(5.0, abs=0.5)
+
+    def test_identical_distributions_include_zero(self):
+        rng = random.Random(3)
+        a = [rng.gauss(5, 1) for _ in range(150)]
+        b = [rng.gauss(5, 1) for _ in range(150)]
+        ci = bootstrap_difference(a, b, rng=random.Random(4))
+        assert not ci.excludes_zero
+
+
+class TestMannWhitney:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([1.0], [1.0, 2.0])
+
+    def test_clear_shift_is_significant(self):
+        rng = random.Random(5)
+        a = [rng.gauss(10, 1) for _ in range(80)]
+        b = [rng.gauss(12, 1) for _ in range(80)]
+        result = mann_whitney_u(a, b)
+        assert result.significant(0.01)
+        assert result.p_value < 1e-6
+
+    def test_same_distribution_not_significant(self):
+        rng = random.Random(5)
+        a = [rng.gauss(10, 1) for _ in range(80)]
+        b = [rng.gauss(10, 1) for _ in range(80)]
+        assert not mann_whitney_u(a, b).significant(0.01)
+
+    def test_handles_ties(self):
+        a = [1.0, 1.0, 2.0, 2.0, 3.0]
+        b = [1.0, 2.0, 2.0, 3.0, 3.0]
+        result = mann_whitney_u(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_symmetry(self):
+        rng = random.Random(6)
+        a = [rng.random() for _ in range(40)]
+        b = [rng.random() + 0.3 for _ in range(40)]
+        assert mann_whitney_u(a, b).p_value == pytest.approx(
+            mann_whitney_u(b, a).p_value
+        )
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=60),
+    st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=60),
+)
+def test_mann_whitney_p_in_unit_interval(a, b):
+    result = mann_whitney_u(a, b)
+    assert 0.0 <= result.p_value <= 1.0
+    assert 0 <= result.u_statistic <= len(a) * len(b)

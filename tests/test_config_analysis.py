@@ -1,0 +1,163 @@
+"""Tests for configuration presets and the analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.report import Table, format_ms, format_rate, format_seconds
+from repro.analysis.stats import (
+    coefficient_of_variation,
+    is_diverging,
+    summarize,
+    trend_slope,
+)
+from repro.core.config import CASE_STUDY, EVALUATION, TenantConfig, WorkloadConfig
+from repro.experiments.common import scaled_config
+from repro.resources.units import GB, MB
+from repro.simulation import Series
+
+
+class TestWorkloadConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(arrival_rate=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(ops_per_txn=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(key_distribution="nope")
+        with pytest.raises(ValueError):
+            WorkloadConfig(burst_factor=0.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(burst_mean_normal=0)
+
+    def test_scaled_rate(self):
+        config = WorkloadConfig(arrival_rate=10.0).scaled_rate(1.4)
+        assert config.arrival_rate == pytest.approx(14.0)
+
+
+class TestTenantConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantConfig(data_bytes=0)
+
+    def test_paper_defaults(self):
+        config = TenantConfig()
+        assert config.data_bytes == 1 * GB
+        assert config.buffer_bytes == 128 * MB
+
+
+class TestPresets:
+    def test_case_study_heavier_than_evaluation(self):
+        assert (
+            CASE_STUDY.workload.arrival_rate > EVALUATION.workload.arrival_rate
+        )
+        assert CASE_STUDY.tenant.buffer_bytes > EVALUATION.tenant.buffer_bytes
+
+    def test_presets_use_paper_gains(self):
+        for preset in (CASE_STUDY, EVALUATION):
+            assert preset.gains.kp == 0.025
+            assert preset.gains.ki == 0.005
+            assert preset.gains.kd == 0.015
+
+    def test_with_seed_and_rate(self):
+        copy = EVALUATION.with_seed(7).with_arrival_rate(9.9)
+        assert copy.seed == 7
+        assert copy.workload.arrival_rate == 9.9
+        assert EVALUATION.seed == 42  # original untouched
+
+    def test_scaled_config_preserves_miss_ratio(self):
+        scaled = scaled_config(EVALUATION, 0.25)
+        original_ratio = EVALUATION.tenant.buffer_bytes / EVALUATION.tenant.data_bytes
+        scaled_ratio = scaled.tenant.buffer_bytes / scaled.tenant.data_bytes
+        assert scaled_ratio == pytest.approx(original_ratio, rel=0.01)
+
+    def test_scaled_config_validation(self):
+        with pytest.raises(ValueError):
+            scaled_config(EVALUATION, 0)
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_basic_stats(self):
+        summary = summarize([0.1, 0.2, 0.3, 0.4])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(0.25)
+        assert summary.minimum == 0.1
+        assert summary.maximum == 0.4
+        assert summary.p50 == 0.2
+
+    def test_as_millis(self):
+        ms = summarize([0.1]).as_millis()
+        assert ms["mean_ms"] == pytest.approx(100.0)
+        assert ms["count"] == 1
+
+    def test_cv(self):
+        assert coefficient_of_variation([1.0, 1.0]) == 0.0
+        assert math.isnan(coefficient_of_variation([]))
+
+
+class TestTrend:
+    def rising_series(self):
+        s = Series("lat")
+        for t in range(60):
+            s.append(float(t), 0.1 + 0.05 * t)
+        return s
+
+    def flat_series(self):
+        s = Series("lat")
+        for t in range(60):
+            s.append(float(t), 0.1 + (0.01 if t % 2 else -0.01))
+        return s
+
+    def test_slope_of_rising_series(self):
+        slope = trend_slope(self.rising_series(), 0, 60)
+        assert slope == pytest.approx(0.05, rel=0.01)
+
+    def test_slope_of_flat_series_near_zero(self):
+        assert abs(trend_slope(self.flat_series(), 0, 60)) < 0.005
+
+    def test_slope_of_tiny_window(self):
+        assert trend_slope(Series("x"), 0, 10) == 0.0
+
+    def test_diverging_detection(self):
+        assert is_diverging(self.rising_series(), 0, 60)
+        assert not is_diverging(self.flat_series(), 0, 60)
+
+    def test_diverging_empty_window(self):
+        assert not is_diverging(Series("x"), 0, 60)
+        assert not is_diverging(self.rising_series(), 60, 0)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("Title", ["a", "bbbb"])
+        table.add_row("x", 1)
+        table.add_row("longer", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[2] and "bbbb" in lines[2]
+        assert "longer" in text
+
+    def test_row_width_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_notes_rendered(self):
+        table = Table("T", ["a"])
+        table.add_row("x")
+        table.add_note("a footnote")
+        assert "* a footnote" in table.render()
+
+    def test_formatters(self):
+        assert format_ms(0.153) == "153 ms"
+        assert format_ms(None) == "-"
+        assert format_rate(4 * 1024 * 1024) == "4.0 MB/s"
+        assert format_rate(None) == "-"
+        assert format_seconds(93.25) == "93.2 s"
+        assert format_seconds(None) == "-"

@@ -1,0 +1,128 @@
+"""Tests for TOML config loading, the CLI --config flag, and reports."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.core import EVALUATION, LatencySla, Slacker
+from repro.core.configfile import ConfigFileError, config_from_dict, load_config
+from repro.experiments import scaled_config
+from repro.resources.units import MB
+
+
+class TestConfigFromDict:
+    def test_defaults_to_evaluation(self):
+        config = config_from_dict({})
+        assert config.workload.arrival_rate == EVALUATION.workload.arrival_rate
+
+    def test_preset_selection(self):
+        config = config_from_dict({"preset": "case-study"})
+        assert config.tenant.buffer_bytes == 256 * MB
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigFileError, match="unknown preset"):
+            config_from_dict({"preset": "magic"})
+
+    def test_seed_override(self):
+        assert config_from_dict({"seed": 9}).seed == 9
+
+    def test_workload_overrides(self):
+        config = config_from_dict(
+            {"workload": {"arrival_rate": 9.5, "burst_factor": 1.5}}
+        )
+        assert config.workload.arrival_rate == 9.5
+        assert config.workload.burst_factor == 1.5
+
+    def test_unknown_workload_key_rejected(self):
+        with pytest.raises(ConfigFileError, match="unknown key"):
+            config_from_dict({"workload": {"arival_rate": 1.0}})
+
+    def test_invalid_workload_value_rejected(self):
+        with pytest.raises(ConfigFileError, match="bad \\[workload\\]"):
+            config_from_dict({"workload": {"arrival_rate": -1.0}})
+
+    def test_tenant_overrides(self):
+        config = config_from_dict({"tenant": {"data_bytes": 64 * MB}})
+        assert config.tenant.data_bytes == 64 * MB
+
+    def test_migration_overrides(self):
+        config = config_from_dict(
+            {"migration": {"max_rate_mb": 20.0, "chunk_mb": 1.0}}
+        )
+        assert config.max_migration_rate == 20.0 * MB
+        assert config.chunk_bytes == 1 * MB
+
+    def test_nonpositive_migration_values_rejected(self):
+        with pytest.raises(ConfigFileError):
+            config_from_dict({"migration": {"max_rate_mb": 0}})
+        with pytest.raises(ConfigFileError):
+            config_from_dict({"migration": {"chunk_mb": -1}})
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ConfigFileError, match="unknown key"):
+            config_from_dict({"wrokload": {}})
+
+
+class TestLoadConfig:
+    def test_load_toml_file(self, tmp_path):
+        path = tmp_path / "config.toml"
+        path.write_text(
+            'preset = "case-study"\nseed = 3\n\n[workload]\narrival_rate = 2.5\n'
+        )
+        config = load_config(path)
+        assert config.seed == 3
+        assert config.workload.arrival_rate == 2.5
+        assert config.tenant.buffer_bytes == 256 * MB
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigFileError, match="no such config"):
+            load_config(tmp_path / "nope.toml")
+
+    def test_malformed_toml(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("this is not = [ toml")
+        with pytest.raises(ConfigFileError):
+            load_config(path)
+
+
+class TestCliConfig:
+    def test_run_with_config_file(self, tmp_path, capsys):
+        path = tmp_path / "tiny.toml"
+        path.write_text(
+            "[tenant]\n"
+            f"data_bytes = {32 * MB}\n"
+            f"buffer_bytes = {4 * MB}\n"
+        )
+        code = main(["run", "fig6", "--config", str(path), "--scale", "1.0"])
+        assert code == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_bad_config_file_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text('preset = "nope"')
+        assert main(["run", "fig6", "--config", str(path)]) == 2
+        assert "config error" in capsys.readouterr().err
+
+
+class TestSlackerReport:
+    def test_report_lists_tenants_and_sla(self):
+        tiny = scaled_config(EVALUATION, 32 * MB / EVALUATION.tenant.data_bytes)
+        slacker = Slacker(tiny, nodes=["a", "b"])
+        slacker.add_tenant(1, node="a", workload=True)
+        slacker.add_tenant(2, node="b")  # no workload: empty row
+        slacker.advance(20.0)
+        text = slacker.report(window=20.0, sla=LatencySla(percentile=95, bound=5.0))
+        assert "cluster report" in text
+        assert "p95 <= 5000 ms" in text
+        assert " ok" in text
+        lines = text.splitlines()
+        assert any(line.startswith("1") and "a" in line for line in lines)
+        assert any(line.startswith("2") for line in lines)
+
+    def test_report_without_sla(self):
+        tiny = scaled_config(EVALUATION, 32 * MB / EVALUATION.tenant.data_bytes)
+        slacker = Slacker(tiny, nodes=["a"])
+        slacker.add_tenant(1, node="a", workload=True)
+        slacker.advance(10.0)
+        text = slacker.report(window=10.0)
+        assert "VIOLATED" not in text
+        assert "mean" in text

@@ -1,0 +1,158 @@
+"""Tests for the dynamic throttle controller loop."""
+
+import pytest
+
+from repro.control.window import LatencyWindow
+from repro.migration.controller import ControllerConfig, DynamicThrottleController
+from repro.migration.throttle import Throttle
+from repro.resources.units import MB
+from repro.simulation import Series, Trace
+
+
+class TestControllerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(setpoint=0, max_rate=1)
+        with pytest.raises(ValueError):
+            ControllerConfig(setpoint=1, max_rate=0)
+        with pytest.raises(ValueError):
+            ControllerConfig(setpoint=1, max_rate=1, window=0)
+        with pytest.raises(ValueError):
+            ControllerConfig(setpoint=1, max_rate=1, initial_output_pct=101)
+        with pytest.raises(ValueError):
+            ControllerConfig(setpoint=1, max_rate=1, combine="median")
+
+
+def synthetic_plant(env, series, throttle, base_latency, sensitivity, max_rate):
+    """Process: every 0.5 s, emit a latency that responds to the rate.
+
+    latency = base + sensitivity * (rate / max_rate): a linear plant.
+    """
+    while True:
+        yield env.timeout(0.5)
+        latency = base_latency + sensitivity * (throttle.rate / max_rate)
+        series.append(env.now, latency)
+
+
+class TestDynamicThrottleController:
+    def make(self, env, setpoint=1.0, combine="mean", series_list=None, **plant):
+        max_rate = 20 * MB
+        throttle = Throttle(env, rate=0.0)
+        if series_list is None:
+            series_list = [Series("lat")]
+        windows = [LatencyWindow([s]) for s in series_list]
+        config = ControllerConfig(setpoint=setpoint, max_rate=max_rate, combine=combine)
+        trace = Trace()
+        controller = DynamicThrottleController(
+            env, throttle, windows, config, trace=trace, name="ctl"
+        )
+        return throttle, controller, series_list, trace
+
+    def test_requires_windows(self, env):
+        throttle = Throttle(env, rate=0.0)
+        with pytest.raises(ValueError):
+            DynamicThrottleController(
+                env, throttle, [], ControllerConfig(setpoint=1, max_rate=1)
+            )
+
+    def test_converges_to_setpoint_on_linear_plant(self, env):
+        throttle, controller, (series,), trace = self.make(env, setpoint=1.0)
+        env.process(
+            synthetic_plant(env, series, throttle,
+                            base_latency=0.2, sensitivity=2.0, max_rate=20 * MB)
+        )
+        env.process(controller.run())
+        env.run(until=120.0)
+        # steady state: latency = 1.0 -> rate = (1.0-0.2)/2.0 * max = 40%
+        final_latency = trace["ctl:window_latency"].values[-1]
+        assert final_latency == pytest.approx(1.0, rel=0.15)
+        assert throttle.rate == pytest.approx(0.4 * 20 * MB, rel=0.2)
+
+    def test_ramps_up_when_under_setpoint(self, env):
+        throttle, controller, (series,), trace = self.make(env, setpoint=5.0)
+        env.process(
+            synthetic_plant(env, series, throttle,
+                            base_latency=0.1, sensitivity=0.5, max_rate=20 * MB)
+        )
+        env.process(controller.run())
+        env.run(until=120.0)
+        # even at 100% output, latency (0.6s) stays far below the
+        # setpoint: the controller must saturate at full speed
+        assert controller.output_pct == pytest.approx(100.0)
+
+    def test_backs_off_overloaded_plant(self, env):
+        throttle, controller, (series,), trace = self.make(env, setpoint=0.3)
+
+        def sensitive_plant(env, series, throttle):
+            while True:
+                yield env.timeout(0.5)
+                rate_frac = throttle.rate / (20 * MB)
+                latency = 0.1 + 2.0 * rate_frac
+                series.append(env.now, latency)
+
+        env.process(sensitive_plant(env, series, throttle))
+        env.process(controller.run())
+        env.run(until=120.0)
+        # steady state rate: (0.3-0.1)/2 = 10% of max
+        assert controller.output_pct < 20.0
+        final_latency = trace["ctl:window_latency"].values[-1]
+        assert final_latency == pytest.approx(0.3, rel=0.25)
+
+    def test_stops_on_until_event(self, env):
+        throttle, controller, (series,), trace = self.make(env)
+        series.append(0.0, 0.1)
+        done = env.event()
+        env.process(controller.run(until=done))
+
+        def finisher(env, done):
+            yield env.timeout(5.5)
+            done.succeed()
+
+        env.process(finisher(env, done))
+        env.run(until=60.0)
+        assert controller.steps <= 6
+
+    def test_stop_method_halts_loop(self, env):
+        throttle, controller, (series,), trace = self.make(env)
+        series.append(0.0, 0.1)
+        env.process(controller.run())
+        env.run(until=3.5)
+        controller.stop()
+        steps = controller.steps
+        env.run(until=30.0)
+        assert controller.steps == steps
+
+    def test_no_signal_holds_rate(self, env):
+        throttle, controller, (series,), trace = self.make(env)
+        env.process(controller.run())
+        env.run(until=10.0)
+        assert controller.steps == 0  # no latency samples: nothing to do
+        assert throttle.rate == 0.0
+
+    def test_max_combine_uses_worst_window(self, env):
+        source, target = Series("src"), Series("dst")
+        throttle, controller, _, trace = self.make(
+            env, setpoint=1.0, combine="max", series_list=[source, target]
+        )
+
+        def plants(env):
+            while True:
+                yield env.timeout(0.5)
+                source.append(env.now, 0.1)   # source is fine
+                target.append(env.now, 5.0)   # target overloaded
+
+        env.process(plants(env))
+        env.process(controller.run())
+        env.run(until=30.0)
+        # max(0.1, 5.0) is far above the 1.0 setpoint: stay backed off
+        assert controller.output_pct == 0.0
+
+    def test_trace_series_recorded(self, env):
+        throttle, controller, (series,), trace = self.make(env)
+        series.append(0.0, 0.2)
+        env.process(controller.run())
+        env.run(until=5.5)
+        assert "ctl:throttle_rate" in trace
+        assert "ctl:window_latency" in trace
+        assert "ctl:output_pct" in trace
+        assert len(trace["ctl:throttle_rate"]) == controller.steps

@@ -1,0 +1,131 @@
+"""Tests for the YCSB key-choice distributions."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workload.distributions import (
+    HotspotChooser,
+    LatestChooser,
+    UniformChooser,
+    ZipfianChooser,
+    fnv1a_64,
+)
+
+
+class TestUniform:
+    def test_range(self):
+        chooser = UniformChooser(100, random.Random(1))
+        for _ in range(1000):
+            assert 0 <= chooser.choose() < 100
+
+    def test_roughly_uniform(self):
+        chooser = UniformChooser(10, random.Random(1))
+        counts = Counter(chooser.choose() for _ in range(10_000))
+        assert min(counts.values()) > 700  # each key ~1000 expected
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            UniformChooser(0, random.Random(1))
+
+
+class TestZipfian:
+    def test_range(self):
+        chooser = ZipfianChooser(1000, random.Random(2))
+        for _ in range(2000):
+            assert 0 <= chooser.choose() < 1000
+
+    def test_skew_without_scrambling(self):
+        chooser = ZipfianChooser(1000, random.Random(2), scramble=False)
+        counts = Counter(chooser.choose() for _ in range(20_000))
+        # rank 0 should dominate any mid-popularity key
+        assert counts[0] > 10 * max(1, counts.get(500, 1))
+
+    def test_scrambling_spreads_hot_keys(self):
+        plain = ZipfianChooser(1000, random.Random(2), scramble=False)
+        scrambled = ZipfianChooser(1000, random.Random(2), scramble=True)
+        hot_plain = Counter(plain.choose() for _ in range(5000)).most_common(1)[0][0]
+        hot_scrambled = Counter(
+            scrambled.choose() for _ in range(5000)
+        ).most_common(1)[0][0]
+        assert hot_plain == 0
+        assert hot_scrambled == fnv1a_64(0) % 1000
+
+    def test_theta_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianChooser(10, random.Random(1), theta=1.0)
+        with pytest.raises(ValueError):
+            ZipfianChooser(10, random.Random(1), theta=0.0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfianChooser(0, random.Random(1))
+
+
+class TestLatest:
+    def test_range(self):
+        chooser = LatestChooser(100, random.Random(3))
+        for _ in range(1000):
+            assert 0 <= chooser.choose() < 100
+
+    def test_newest_keys_hot(self):
+        chooser = LatestChooser(1000, random.Random(3))
+        counts = Counter(chooser.choose() for _ in range(20_000))
+        newest = sum(counts.get(k, 0) for k in range(990, 1000))
+        oldest = sum(counts.get(k, 0) for k in range(10))
+        assert newest > 5 * max(1, oldest)
+
+    def test_advance_grows_keyspace(self):
+        chooser = LatestChooser(10, random.Random(3))
+        chooser.advance(5)
+        assert chooser.num_keys == 15
+        with pytest.raises(ValueError):
+            chooser.advance(-1)
+
+
+class TestHotspot:
+    def test_range(self):
+        chooser = HotspotChooser(100, random.Random(4))
+        for _ in range(1000):
+            assert 0 <= chooser.choose() < 100
+
+    def test_hot_set_gets_hot_fraction(self):
+        chooser = HotspotChooser(
+            1000, random.Random(4), hot_fraction=0.1, hot_access_fraction=0.9
+        )
+        hits = sum(1 for _ in range(10_000) if chooser.choose() < 100)
+        assert 0.85 <= hits / 10_000 <= 0.95
+
+    def test_parameter_validation(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            HotspotChooser(0, rng)
+        with pytest.raises(ValueError):
+            HotspotChooser(10, rng, hot_fraction=1.0)
+        with pytest.raises(ValueError):
+            HotspotChooser(10, rng, hot_access_fraction=0.0)
+
+
+class TestFnv:
+    def test_deterministic(self):
+        assert fnv1a_64(12345) == fnv1a_64(12345)
+
+    def test_spreads_consecutive_inputs(self):
+        hashes = {fnv1a_64(i) % 1000 for i in range(100)}
+        assert len(hashes) > 80
+
+
+@given(st.integers(min_value=1, max_value=100_000), st.integers())
+def test_uniform_always_in_range(num_keys, seed):
+    chooser = UniformChooser(num_keys, random.Random(seed))
+    assert 0 <= chooser.choose() < num_keys
+
+
+@given(st.integers(min_value=2, max_value=10_000), st.integers())
+def test_zipfian_always_in_range(num_keys, seed):
+    chooser = ZipfianChooser(num_keys, random.Random(seed))
+    for _ in range(20):
+        assert 0 <= chooser.choose() < num_keys

@@ -1,0 +1,181 @@
+"""Tests for the per-figure experiment drivers (tiny scale).
+
+These verify the drivers' mechanics — result structures, tables,
+derived metrics — not the paper's shapes (that is what
+tests/test_paper_shapes.py and benchmarks/ do).
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    ext_source_target,
+    fig5_throttle_sweep,
+    fig6_overload,
+    fig7_tradeoff,
+    fig11_setpoint_sweep,
+    fig12_timeseries,
+    fig13a_dynamic_workload,
+    fig13b_multitenant,
+    stop_and_copy_downtime,
+)
+
+SCALE = 0.125  # 128 MB tenants: fast but still exercising every path
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        assert set(REGISTRY) == {
+            "fig5", "fig6", "fig7", "fig11", "fig12", "fig13a", "fig13b",
+            "stop-and-copy", "ext-source-target",
+        }
+
+    def test_every_driver_has_run_and_main(self):
+        for module in REGISTRY.values():
+            assert callable(module.run)
+            assert callable(module.main)
+
+
+class TestFig5Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_throttle_sweep.run(scale=SCALE, rates_mb=(4, 12))
+
+    def test_outcomes_keyed_by_rate(self, result):
+        assert set(result.outcomes) == {0, 4, 12}
+
+    def test_means_accessible(self, result):
+        assert result.mean_ms(0) > 0
+        assert result.stddev_ms(4) >= 0
+
+    def test_table_renders(self, result):
+        text = result.table().render()
+        assert "baseline" in text
+        assert "4 MB/s throttle" in text
+        assert "paper mean" in text
+
+
+class TestFig6Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_overload.run(scale=0.25)
+
+    def test_thirds_are_finite(self, result):
+        assert all(not math.isnan(v) for v in result.thirds_ms)
+
+    def test_table_renders(self, result):
+        text = result.table().render()
+        assert "diverging?" in text
+        assert "16 MB/s" in text
+
+
+class TestFig7Driver:
+    def test_reuses_fig5_runs(self):
+        fig5 = fig5_throttle_sweep.run(scale=SCALE, rates_mb=(4,))
+        result = fig7_tradeoff.run(fig5=fig5)
+        rows = result.rows()
+        assert [r for r, *_ in rows] == [0, 4]
+        assert rows[0][3] is None  # baseline has no migration duration
+        assert rows[1][3] is not None
+        assert "Figure 7" in result.table().render()
+
+
+class TestFig11Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_setpoint_sweep.run(
+            scale=SCALE, fixed_rates_mb=(4, 8, 12), setpoints=(0.5, 1.5)
+        )
+
+    def test_point_counts(self, result):
+        assert len(result.fixed) == 3
+        assert len(result.slacker) == 2
+
+    def test_interpolation_monotone_queries(self, result):
+        lo = result.fixed_latency_at(4.0)
+        hi = result.fixed_latency_at(12.0)
+        mid = result.fixed_latency_at(8.0)
+        assert min(lo, hi) <= mid <= max(lo, hi)
+
+    def test_interpolation_clamps_out_of_range(self, result):
+        assert result.fixed_latency_at(0.1) == result.fixed[0].mean_latency
+        assert result.fixed_latency_at(99.0) == result.fixed[-1].mean_latency
+
+    def test_plateau_and_knee(self, result):
+        assert result.plateau_rate_mb() > 0
+        knee = result.knee_rate_mb()
+        assert knee is None or 4 <= knee <= 12
+
+    def test_steady_error_fraction(self, result):
+        for point in result.slacker:
+            assert not math.isnan(point.steady_error_fraction)
+
+    def test_tables_render(self, result):
+        assert "Figure 11a" in result.table_11a().render()
+        assert "Figure 11b" in result.table_11b().render()
+
+
+class TestFig12Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_timeseries.run(scale=0.25)
+
+    def test_timeseries_rows_cover_migration(self, result):
+        rows = result.timeseries_rows(step=5.0)
+        assert len(rows) >= 3
+        times = [t for t, _, _ in rows]
+        assert times == sorted(times)
+
+    def test_correlation_finite(self, result):
+        assert not math.isnan(result.correlation)
+
+    def test_pause_accounting(self, result):
+        assert 0 <= result.paused_steps <= result.total_steps
+
+    def test_table_renders(self, result):
+        assert "correlation" in result.table().render()
+
+    def test_pearson_basics(self):
+        pearson = fig12_timeseries.pearson
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert pearson([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+        assert math.isnan(pearson([1, 1], [2, 3]))
+        with pytest.raises(ValueError):
+            pearson([1], [1, 2])
+
+
+class TestFig13Drivers:
+    def test_fig13a_structure(self):
+        result = fig13a_dynamic_workload.run(scale=SCALE)
+        pre, post = result.phase_means(result.slacker)
+        assert pre > 0 and post > 0
+        assert result.equivalent_rate > 0
+        assert result.fixed.spec.rate == pytest.approx(result.equivalent_rate)
+        assert "13a" in result.table().render()
+
+    def test_fig13b_structure(self):
+        result = fig13b_multitenant.run(scale=SCALE, num_tenants=3)
+        assert len(result.slacker.tenants) == 3
+        assert len(result.per_tenant_means(result.slacker)) == 3
+        assert "13b" in result.table().render()
+
+
+class TestStopAndCopyDriver:
+    def test_sweep_structure(self):
+        result = stop_and_copy_downtime.run(sizes_mb=(32, 64))
+        methods = {p.method for p in result.points}
+        assert methods == {"stop-and-copy", "dump-reimport", "live (8 MB/s)"}
+        rows = result.downtimes("stop-and-copy")
+        assert [s for s, _ in rows] == [32, 64]
+        assert "downtime" in result.table().render()
+
+
+class TestExtSourceTargetDriver:
+    def test_comparison_structure(self):
+        result = ext_source_target.run(scale=SCALE)
+        assert result.source_only.both_ends is False
+        assert result.both_ends.both_ends is True
+        assert result.both_ends.migration_rate > 0
+        assert "max(source, target)" in result.table().render()

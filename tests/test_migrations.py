@@ -1,0 +1,277 @@
+"""Integration tests for stop-and-copy and live migration."""
+
+import random
+
+import pytest
+
+from repro.db.engine import DatabaseEngine, EngineState
+from repro.migration.live import LiveMigration, MigrationPhase
+from repro.migration.stop_and_copy import DumpReimportMigration, StopAndCopyMigration
+from repro.migration.throttle import Throttle
+from repro.resources.server import Server
+from repro.resources.units import MB, mb_per_sec
+from repro.simulation import Environment, RandomStreams, Trace
+from repro.workload.client import BenchmarkClient
+from repro.workload.distributions import UniformChooser
+from repro.workload.generator import PoissonArrivals, TransactionFactory
+from repro.db.pages import TableLayout
+
+
+@pytest.fixture
+def target_server(env, streams):
+    return Server(env, "target-server", streams=streams)
+
+
+def attach_client(env, engine, rate=6.0, seed=3):
+    trace = Trace()
+    chooser = UniformChooser(engine.layout.num_rows, random.Random(seed))
+    factory = TransactionFactory(engine.layout, chooser, random.Random(seed + 1))
+    arrivals = PoissonArrivals(rate, random.Random(seed + 2))
+    client = BenchmarkClient(env, engine, factory, arrivals, trace=trace, series="lat")
+    client.start()
+    return client
+
+
+class TestStopAndCopy:
+    def test_copies_everything_and_switches(self, env, engine, target_server):
+        migration = StopAndCopyMigration(env, engine, target_server)
+        result = env.run(until=env.process(migration.run()))
+        assert result.bytes_copied == engine.data_bytes
+        assert result.downtime == result.duration
+        assert engine.state is EngineState.STOPPED
+        assert engine.successor is result.target
+        assert result.target.replicated_lsn == engine.binlog.head_lsn
+
+    def test_downtime_proportional_to_size(self, env, streams):
+        sizes = [8 * MB, 32 * MB]
+        downtimes = []
+        for i, size in enumerate(sizes):
+            server = Server(env, f"src-{i}", streams=streams)
+            target = Server(env, f"dst-{i}", streams=streams)
+            eng = DatabaseEngine(
+                env, server, TableLayout.for_data_size(size),
+                name=f"t{i}", buffer_bytes=2 * MB,
+            )
+            migration = StopAndCopyMigration(env, eng, target)
+            result = env.run(until=env.process(migration.run()))
+            downtimes.append(result.downtime)
+        ratio = downtimes[1] / downtimes[0]
+        assert 3.0 <= ratio <= 5.0  # ~4x the data: ~4x the downtime
+
+    def test_dump_reimport_slower_than_file_copy(self, env, streams):
+        results = {}
+        for i, cls in enumerate((StopAndCopyMigration, DumpReimportMigration)):
+            server = Server(env, f"s{i}", streams=streams)
+            target = Server(env, f"d{i}", streams=streams)
+            eng = DatabaseEngine(
+                env, server, TableLayout.for_data_size(16 * MB),
+                name=f"e{i}", buffer_bytes=2 * MB,
+            )
+            migration = cls(env, eng, target)
+            results[cls.method] = env.run(until=env.process(migration.run()))
+        assert (
+            results["dump-reimport"].downtime > 1.5 * results["file-copy"].downtime
+        )
+
+    def test_queries_blocked_during_copy_then_forwarded(
+        self, env, engine, target_server
+    ):
+        client = attach_client(env, engine, rate=5.0)
+        env.run(until=2.0)
+        migration = StopAndCopyMigration(env, engine, target_server)
+        result = env.run(until=env.process(migration.run()))
+        env.run(until=env.now + 2.0)
+        client.stop()
+        env.run(until=env.now + 5.0)
+        # everything that arrived eventually completed (on the target)
+        assert client.stats.completed == client.stats.arrived
+        assert result.target.stats.committed > 0
+
+    def test_throttled_copy_respects_rate(self, env, engine, target_server):
+        throttle = Throttle(env, rate=mb_per_sec(4))
+        migration = StopAndCopyMigration(env, engine, target_server, throttle=throttle)
+        result = env.run(until=env.process(migration.run()))
+        expected = engine.data_bytes / mb_per_sec(4)
+        assert result.duration == pytest.approx(expected, rel=0.2)
+
+    def test_chunk_validation(self, env, engine, target_server):
+        with pytest.raises(ValueError):
+            StopAndCopyMigration(env, engine, target_server, chunk_bytes=0)
+
+
+class TestLiveMigration:
+    def run_live(self, env, engine, target_server, rate_mb=8, client_rate=6.0):
+        client = attach_client(env, engine, rate=client_rate)
+        env.run(until=2.0)
+        throttle = Throttle(env, rate=mb_per_sec(rate_mb))
+        migration = LiveMigration(env, engine, target_server, throttle)
+        result = env.run(until=env.process(migration.run()))
+        throttle.stop()
+        return client, migration, result
+
+    def test_parameter_validation(self, env, engine, target_server):
+        throttle = Throttle(env, rate=1.0)
+        with pytest.raises(ValueError):
+            LiveMigration(env, engine, target_server, throttle, delta_threshold=-1)
+        with pytest.raises(ValueError):
+            LiveMigration(env, engine, target_server, throttle, max_delta_rounds=0)
+        with pytest.raises(ValueError):
+            LiveMigration(env, engine, target_server, throttle, pipeline_depth=0)
+
+    def test_phases_progress_to_complete(self, env, engine, target_server):
+        client, migration, result = self.run_live(env, engine, target_server)
+        assert migration.phase is MigrationPhase.COMPLETE
+        assert result.snapshot_bytes == engine.data_bytes
+        assert result.duration > 0
+
+    def test_consistency_at_handover(self, env, engine, target_server):
+        client, migration, result = self.run_live(env, engine, target_server)
+        assert result.target.replicated_lsn == engine.binlog.head_lsn
+
+    def test_source_stopped_with_successor(self, env, engine, target_server):
+        client, migration, result = self.run_live(env, engine, target_server)
+        assert engine.state is EngineState.STOPPED
+        assert engine.successor is result.target
+
+    def test_downtime_well_under_one_second(self, env, engine, target_server):
+        client, migration, result = self.run_live(env, engine, target_server)
+        assert result.downtime < 1.0
+
+    def test_no_transactions_lost(self, env, engine, target_server):
+        client, migration, result = self.run_live(env, engine, target_server)
+        env.run(until=env.now + 2.0)
+        client.stop()
+        env.run(until=env.now + 10.0)
+        assert client.stats.completed == client.stats.arrived
+
+    def test_workload_continues_during_migration(self, env, engine, target_server):
+        client, migration, result = self.run_live(env, engine, target_server)
+        during = client.latencies.window_values(
+            result.started_at, result.finished_at
+        )
+        assert len(during) > 10  # transactions kept completing throughout
+
+    def test_delta_rounds_ship_concurrent_writes(self, env, engine, target_server):
+        # aggressive writes + slow migration: deltas must be non-empty
+        client, migration, result = self.run_live(
+            env, engine, target_server, rate_mb=4, client_rate=12.0
+        )
+        assert result.delta_bytes > 0
+        assert len(result.delta_rounds) >= 1
+        assert result.total_bytes == result.snapshot_bytes + result.delta_bytes
+
+    def test_average_rate_close_to_throttle(self, env, engine, target_server):
+        client, migration, result = self.run_live(env, engine, target_server, rate_mb=8)
+        assert result.average_rate == pytest.approx(mb_per_sec(8), rel=0.25)
+
+    def test_on_handover_called_with_target(self, env, engine, target_server):
+        seen = []
+        throttle = Throttle(env, rate=mb_per_sec(16))
+        migration = LiveMigration(
+            env, engine, target_server, throttle, on_handover=seen.append
+        )
+        result = env.run(until=env.process(migration.run()))
+        assert seen == [result.target]
+
+    def test_faster_throttle_shortens_migration(self, env, streams):
+        durations = []
+        for i, rate in enumerate((4, 16)):
+            src = Server(env, f"s{i}", streams=streams)
+            dst = Server(env, f"d{i}", streams=streams)
+            eng = DatabaseEngine(
+                env, src, TableLayout.for_data_size(16 * MB),
+                name=f"e{i}", buffer_bytes=2 * MB,
+            )
+            throttle = Throttle(env, rate=mb_per_sec(rate))
+            migration = LiveMigration(env, eng, dst, throttle)
+            result = env.run(until=env.process(migration.run()))
+            throttle.stop()
+            durations.append(result.duration)
+        assert durations[1] < durations[0] / 2
+
+
+class TestMigrationConsistencyProperty:
+    """Consistency must hold for arbitrary workloads and seeds."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 23, 99])
+    @pytest.mark.parametrize("write_heavy", [False, True])
+    def test_target_always_caught_up(self, seed, write_heavy):
+        env = Environment()
+        streams = RandomStreams(seed)
+        src = Server(env, "src", streams=streams)
+        dst = Server(env, "dst", streams=streams)
+        engine = DatabaseEngine(
+            env, src, TableLayout.for_data_size(24 * MB),
+            name="t", buffer_bytes=4 * MB,
+        )
+        rate = 15.0 if write_heavy else 4.0
+        client = attach_client(env, engine, rate=rate, seed=seed)
+        env.run(until=1.0)
+        throttle = Throttle(env, rate=mb_per_sec(6))
+        migration = LiveMigration(env, engine, dst, throttle)
+        result = env.run(until=env.process(migration.run()))
+        throttle.stop()
+
+        # Invariant 1: the target holds every committed write.
+        assert result.target.replicated_lsn == engine.binlog.head_lsn
+        # Invariant 2: sub-second blackout.
+        assert result.downtime < 1.0
+        # Invariant 3: nothing in flight is ever lost.
+        env.run(until=env.now + 2.0)
+        client.stop()
+        env.run(until=env.now + 30.0)
+        assert client.stats.completed == client.stats.arrived
+
+
+class TestMigrationAbort:
+    def start_migration(self, env, engine, target_server, rate_mb=4):
+        client = attach_client(env, engine, rate=6.0)
+        env.run(until=1.0)
+        throttle = Throttle(env, rate=mb_per_sec(rate_mb))
+        migration = LiveMigration(env, engine, target_server, throttle)
+        proc = env.process(migration.run())
+        return client, throttle, migration, proc
+
+    def test_abort_during_snapshot_keeps_source_authoritative(
+        self, env, engine, target_server
+    ):
+        from repro.migration.live import MigrationAborted, MigrationPhase
+
+        client, throttle, migration, proc = self.start_migration(
+            env, engine, target_server
+        )
+        env.run(until=2.0)
+        assert migration.phase is MigrationPhase.SNAPSHOT
+        migration.abort("testing")
+        with pytest.raises(MigrationAborted, match="testing"):
+            env.run(until=proc)
+        assert migration.phase is MigrationPhase.ABORTED
+        # Source untouched: still running, never frozen, still serving.
+        assert engine.state is EngineState.RUNNING
+        env.run(until=env.now + 3.0)
+        client.stop()
+        env.run(until=env.now + 10.0)
+        assert client.stats.completed == client.stats.arrived
+
+    def test_abort_after_complete_refused(self, env, engine, target_server):
+        client, throttle, migration, proc = self.start_migration(
+            env, engine, target_server, rate_mb=16
+        )
+        env.run(until=proc)
+        with pytest.raises(RuntimeError):
+            migration.abort()
+
+    def test_aborted_target_is_discarded(self, env, engine, target_server):
+        from repro.migration.live import MigrationAborted
+
+        client, throttle, migration, proc = self.start_migration(
+            env, engine, target_server, rate_mb=16
+        )
+        # run until the prepare/delta phase so a target exists
+        while migration.target is None and proc.is_alive:
+            env.run(until=env.now + 0.5)
+        if proc.is_alive and migration.phase.value in ("prepare", "delta"):
+            migration.abort()
+            with pytest.raises(MigrationAborted):
+                env.run(until=proc)
+            assert migration.target.state is EngineState.STOPPED

@@ -1,0 +1,136 @@
+"""Cross-cutting behaviour tests for paths not covered elsewhere."""
+
+import pytest
+
+from repro.core import EVALUATION, Slacker
+from repro.db.engine import DatabaseEngine
+from repro.db.pages import TableLayout
+from repro.db.transactions import Operation, OperationCosts, OpType, Transaction
+from repro.experiments import (
+    MigrationSpec,
+    run_single_tenant,
+    scaled_config,
+)
+from repro.middleware.node import NodeConfig
+from repro.resources.server import Server
+from repro.resources.units import MB, mb_per_sec
+from repro.simulation import Environment, RandomStreams
+from tests.conftest import run_process
+
+TINY = scaled_config(EVALUATION, 32 * MB / EVALUATION.tenant.data_bytes)
+
+
+class TestOperationCostEffects:
+    def run_read_txn(self, costs):
+        env = Environment()
+        server = Server(env, "s", streams=RandomStreams(4))
+        engine = DatabaseEngine(
+            env, server, TableLayout.for_data_size(8 * MB),
+            name="t", buffer_bytes=4 * MB, costs=costs,
+        )
+        txn = Transaction(
+            1, [Operation(OpType.SELECT, k) for k in range(10)], arrived_at=0.0
+        )
+        run_process(env, engine.execute(txn))
+        return txn.latency
+
+    def test_higher_cpu_cost_raises_latency(self):
+        cheap = self.run_read_txn(OperationCosts(cpu_per_op=50e-6))
+        # deterministic CPU comparison needs same seeds; exponential CPU
+        # jitter is seeded identically so the ordering is stable
+        expensive = self.run_read_txn(OperationCosts(cpu_per_op=5e-3))
+        assert expensive > cheap
+
+    def test_write_costs_add_binlog_bytes(self):
+        env = Environment()
+        server = Server(env, "s", streams=RandomStreams(4))
+        costs = OperationCosts(log_bytes_per_write=1000)
+        engine = DatabaseEngine(
+            env, server, TableLayout.for_data_size(8 * MB),
+            name="t", buffer_bytes=4 * MB, costs=costs,
+        )
+        txn = Transaction(
+            1, [Operation(OpType.UPDATE, k) for k in range(3)], arrived_at=0.0
+        )
+        run_process(env, engine.execute(txn))
+        assert engine.binlog.head_lsn == 3000
+
+
+class TestHarnessHooks:
+    def test_on_setup_called_with_pieces(self):
+        seen = {}
+
+        def hook(cluster, tenant, client):
+            seen["cluster"] = cluster
+            seen["tenant"] = tenant.tenant_id
+            seen["client"] = client
+
+        run_single_tenant(
+            TINY, MigrationSpec.none(), warmup=1, baseline_duration=3,
+            on_setup=hook,
+        )
+        assert seen["tenant"] == 1
+        assert seen["client"].stats.completed >= 0
+        assert "source" in seen["cluster"].nodes
+
+    def test_dynamic_max_rate_override(self):
+        outcome = run_single_tenant(
+            TINY,
+            MigrationSpec.dynamic(5.0, max_rate=mb_per_sec(2)),
+            warmup=2,
+        )
+        # Even with a sky-high setpoint, the override caps the speed.
+        assert outcome.average_migration_rate <= mb_per_sec(2) * 1.1
+
+    def test_stop_and_copy_average_rate(self):
+        outcome = run_single_tenant(
+            TINY, MigrationSpec(kind="stop-and-copy"), warmup=1, cooldown=1
+        )
+        assert outcome.average_migration_rate > 0
+
+
+class TestBothEndsThroughNodeConfig:
+    def test_max_combine_activates_with_target_telemetry(self):
+        config = TINY
+        slacker = Slacker(config, nodes=["a", "b"])
+        # rebuild node configs with both-ends throttling
+        for node in slacker.cluster.nodes.values():
+            node.config = NodeConfig(
+                buffer_bytes=config.tenant.buffer_bytes,
+                max_migration_rate=config.max_migration_rate,
+                chunk_bytes=config.chunk_bytes,
+                throttle_both_ends=True,
+            )
+        slacker.add_tenant(1, node="a", workload=True)
+        slacker.add_tenant(2, node="b", workload=True)
+        slacker.advance(5.0)
+        result = slacker.migrate(1, "b", setpoint=1.0)
+        assert result.downtime < 1.0
+        assert slacker.locate(1) == "b"
+        # the controller recorded its series under the source node name
+        assert "a:mig-1:throttle_rate" in slacker.cluster.node("a").trace
+
+
+class TestBusAccounting:
+    def test_messages_counted_and_timestamped(self):
+        slacker = Slacker(TINY, nodes=["a", "b"])
+        slacker.add_tenant(1, node="a")
+        slacker.advance(1.0)
+        before = slacker.cluster.bus.messages_delivered
+        slacker.migrate(1, "b", fixed_rate=mb_per_sec(8))
+        bus = slacker.cluster.bus
+        # migrate request + accept + complete, at least
+        assert bus.messages_delivered >= before + 3
+        assert bus.bytes_on_wire > 0
+
+
+class TestFacadeReportAfterMigration:
+    def test_report_reflects_new_location(self):
+        slacker = Slacker(TINY, nodes=["a", "b"])
+        slacker.add_tenant(1, node="a", workload=True)
+        slacker.advance(5.0)
+        slacker.migrate(1, "b", fixed_rate=mb_per_sec(8))
+        slacker.advance(5.0)
+        text = slacker.report(window=5.0)
+        line = next(l for l in text.splitlines() if l.startswith("1"))
+        assert " b" in line

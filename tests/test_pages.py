@@ -1,0 +1,90 @@
+"""Tests for the table layout / page mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.pages import TableLayout
+from repro.resources.units import GB, MB, PAGE_SIZE
+
+
+class TestTableLayout:
+    def test_paper_database_dimensions(self):
+        layout = TableLayout.for_data_size(1 * GB, row_size=1024)
+        assert layout.rows_per_page == 16
+        assert layout.num_rows == GB // 1024
+        assert layout.data_bytes == pytest.approx(GB, rel=0.01)
+
+    def test_invalid_rows_rejected(self):
+        with pytest.raises(ValueError):
+            TableLayout(num_rows=0)
+
+    def test_row_bigger_than_page_rejected(self):
+        with pytest.raises(ValueError):
+            TableLayout(num_rows=10, row_size=PAGE_SIZE + 1)
+
+    def test_page_of_boundaries(self):
+        layout = TableLayout(num_rows=32, row_size=PAGE_SIZE // 16)
+        assert layout.page_of(0) == 0
+        assert layout.page_of(15) == 0
+        assert layout.page_of(16) == 1
+        assert layout.page_of(31) == 1
+
+    def test_page_of_out_of_range(self):
+        layout = TableLayout(num_rows=10)
+        with pytest.raises(KeyError):
+            layout.page_of(10)
+        with pytest.raises(KeyError):
+            layout.page_of(-1)
+
+    def test_num_pages_rounds_up(self):
+        layout = TableLayout(num_rows=17, row_size=PAGE_SIZE // 16)
+        assert layout.num_pages == 2
+
+    def test_scan_touches_contiguous_pages(self):
+        layout = TableLayout(num_rows=64, row_size=PAGE_SIZE // 16)
+        pages = layout.pages_of_scan(start_key=10, length=20)
+        assert list(pages) == [0, 1]
+
+    def test_scan_clamped_to_table_end(self):
+        layout = TableLayout(num_rows=32, row_size=PAGE_SIZE // 16)
+        pages = layout.pages_of_scan(start_key=30, length=1000)
+        assert list(pages) == [1]
+
+    def test_scan_length_must_be_positive(self):
+        layout = TableLayout(num_rows=10)
+        with pytest.raises(ValueError):
+            layout.pages_of_scan(0, 0)
+
+    def test_for_data_size_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            TableLayout.for_data_size(0)
+
+
+@given(
+    num_rows=st.integers(min_value=1, max_value=1_000_000),
+    row_size=st.integers(min_value=1, max_value=PAGE_SIZE),
+)
+def test_every_key_maps_to_valid_page(num_rows, row_size):
+    layout = TableLayout(num_rows=num_rows, row_size=row_size)
+    for key in {0, num_rows - 1, num_rows // 2}:
+        assert 0 <= layout.page_of(key) < layout.num_pages
+
+
+@given(
+    num_rows=st.integers(min_value=2, max_value=100_000),
+    row_size=st.integers(min_value=1, max_value=PAGE_SIZE),
+)
+def test_page_mapping_is_monotone(num_rows, row_size):
+    layout = TableLayout(num_rows=num_rows, row_size=row_size)
+    keys = sorted({0, 1, num_rows // 3, num_rows // 2, num_rows - 1})
+    pages = [layout.page_of(k) for k in keys]
+    assert pages == sorted(pages)
+
+
+@given(data_bytes=st.integers(min_value=1024, max_value=8 * MB))
+def test_layout_size_close_to_request(data_bytes):
+    layout = TableLayout.for_data_size(data_bytes, row_size=1024)
+    # padded up to a whole page at most
+    assert layout.data_bytes >= data_bytes - 1024 - PAGE_SIZE
+    assert layout.data_bytes <= data_bytes + PAGE_SIZE

@@ -1,0 +1,217 @@
+"""Unit and property tests for the PID controllers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.pid import (
+    PAPER_GAINS,
+    PidGains,
+    PositionalPidController,
+    VelocityPidController,
+)
+
+
+class TestPidGains:
+    def test_paper_values(self):
+        assert PAPER_GAINS.kp == 0.025
+        assert PAPER_GAINS.ki == 0.005
+        assert PAPER_GAINS.kd == 0.015
+
+    def test_negative_gain_rejected(self):
+        with pytest.raises(ValueError):
+            PidGains(-0.1, 0, 0)
+
+    def test_scaled(self):
+        gains = PidGains(1.0, 2.0, 3.0).scaled(0.5)
+        assert (gains.kp, gains.ki, gains.kd) == (0.5, 1.0, 1.5)
+        with pytest.raises(ValueError):
+            PidGains(1, 1, 1).scaled(0)
+
+
+class TestVelocityPid:
+    def test_output_bounds_validated(self):
+        with pytest.raises(ValueError):
+            VelocityPidController(PAPER_GAINS, setpoint=1000, output_min=5, output_max=5)
+
+    def test_below_setpoint_increases_output(self):
+        pid = VelocityPidController(PAPER_GAINS, setpoint=1000)
+        before = pid.output
+        after = pid.update(100.0)
+        assert after > before
+
+    def test_above_setpoint_decreases_output(self):
+        pid = VelocityPidController(PAPER_GAINS, setpoint=1000, initial_output=50)
+        after = pid.update(5000.0)
+        assert after < 50
+
+    def test_output_clamped(self):
+        pid = VelocityPidController(
+            PidGains(10, 10, 0), setpoint=1000, output_min=0, output_max=100
+        )
+        for _ in range(50):
+            pid.update(0.0)
+        assert pid.output == 100
+        for _ in range(100):
+            pid.update(1e6)
+        assert pid.output == 0
+
+    def test_no_windup_after_saturation(self):
+        """After long saturation at max, one step above setpoint must
+        immediately reduce output (this is the point of the velocity
+        form: no accumulated integral to unwind)."""
+        pid = VelocityPidController(PidGains(0.025, 0.005, 0.0), setpoint=1000)
+        for _ in range(500):
+            pid.update(50.0)  # far below setpoint: saturates at max
+        assert pid.output == 100
+        pid.update(2000.0)
+        first_response = pid.output
+        pid.update(2000.0)
+        assert first_response < 100
+        assert pid.output < first_response
+
+    def test_at_setpoint_holds_output(self):
+        pid = VelocityPidController(PAPER_GAINS, setpoint=1000, initial_output=40)
+        pid.update(1000.0)
+        pid.update(1000.0)
+        assert pid.output == pytest.approx(40)
+
+    def test_dt_validation(self):
+        pid = VelocityPidController(PAPER_GAINS, setpoint=1000)
+        with pytest.raises(ValueError):
+            pid.update(0, dt=0)
+
+    def test_reset_clears_history(self):
+        pid = VelocityPidController(PAPER_GAINS, setpoint=1000)
+        pid.update(0)
+        pid.update(0)
+        pid.reset(initial_output=10)
+        assert pid.output == 10
+        assert pid.steps == 0
+
+    def test_set_output_forces_value(self):
+        pid = VelocityPidController(PAPER_GAINS, setpoint=1000, initial_output=50)
+        pid.set_output(0)
+        assert pid.output == 0
+        pid.set_output(1e9)
+        assert pid.output == 100
+
+    def test_set_setpoint_retargets(self):
+        pid = VelocityPidController(PAPER_GAINS, setpoint=1000, initial_output=50)
+        pid.set_setpoint(200)
+        assert pid.error(300) == -100
+
+    def test_derivative_damps_rapid_rise(self):
+        """With Kd, a rapidly-rising PV is braked harder than with P alone."""
+        with_d = VelocityPidController(
+            PidGains(0.025, 0.0, 0.5), setpoint=1000, initial_output=50
+        )
+        without_d = VelocityPidController(
+            PidGains(0.025, 0.0, 0.0), setpoint=1000, initial_output=50
+        )
+        for pv in (400, 600, 800):  # rising but still under the setpoint
+            with_d.update(pv)
+            without_d.update(pv)
+        assert with_d.output < without_d.output
+
+
+class TestPositionalPid:
+    def test_integral_accumulates(self):
+        pid = PositionalPidController(PidGains(0, 1.0, 0), setpoint=10)
+        pid.update(0.0)
+        pid.update(0.0)
+        assert pid.integral == pytest.approx(20.0)
+
+    def test_windup_limit_clamps_integral(self):
+        pid = PositionalPidController(
+            PidGains(0, 1.0, 0), setpoint=10, windup_limit=15.0
+        )
+        for _ in range(10):
+            pid.update(0.0)
+        assert pid.integral == pytest.approx(15.0)
+
+    def test_windup_limit_validation(self):
+        with pytest.raises(ValueError):
+            PositionalPidController(PAPER_GAINS, setpoint=1, windup_limit=0)
+
+    def test_windup_demonstrated_without_limit(self):
+        """The failure mode of Section 4.2.3: a long period far below
+        the setpoint saturates the integral; recovery after the PV
+        rises is much slower than the velocity form's."""
+        positional = PositionalPidController(
+            PidGains(0.025, 0.005, 0.0), setpoint=1000
+        )
+        velocity = VelocityPidController(
+            PidGains(0.025, 0.005, 0.0), setpoint=1000
+        )
+        for _ in range(300):
+            positional.update(50.0)
+            velocity.update(50.0)
+        # both saturated high; now the PV jumps above the setpoint
+        steps_to_back_off = {"positional": None, "velocity": None}
+        for step in range(1, 301):
+            if positional.update(3000.0) < 50 and steps_to_back_off["positional"] is None:
+                steps_to_back_off["positional"] = step
+            if velocity.update(3000.0) < 50 and steps_to_back_off["velocity"] is None:
+                steps_to_back_off["velocity"] = step
+        assert steps_to_back_off["velocity"] is not None
+        assert (
+            steps_to_back_off["positional"] is None
+            or steps_to_back_off["velocity"] < steps_to_back_off["positional"]
+        )
+
+    def test_output_clamped(self):
+        pid = PositionalPidController(PidGains(100, 0, 0), setpoint=10)
+        assert pid.update(0.0) == 100.0
+        assert pid.update(1e9) == 0.0
+
+    def test_reset(self):
+        pid = PositionalPidController(PAPER_GAINS, setpoint=10)
+        pid.update(0)
+        pid.reset()
+        assert pid.integral == 0
+        assert pid.steps == 0
+
+    def test_dt_validation(self):
+        pid = PositionalPidController(PAPER_GAINS, setpoint=10)
+        with pytest.raises(ValueError):
+            pid.update(0, dt=-1)
+
+
+@settings(max_examples=50)
+@given(
+    pvs=st.lists(st.floats(min_value=0, max_value=1e5), min_size=1, max_size=100),
+    setpoint=st.floats(min_value=1, max_value=1e4),
+)
+def test_velocity_output_always_within_bounds(pvs, setpoint):
+    pid = VelocityPidController(PAPER_GAINS, setpoint=setpoint)
+    for pv in pvs:
+        out = pid.update(pv)
+        assert 0.0 <= out <= 100.0
+
+
+@settings(max_examples=50)
+@given(
+    pvs=st.lists(st.floats(min_value=0, max_value=1e5), min_size=1, max_size=100),
+    setpoint=st.floats(min_value=1, max_value=1e4),
+)
+def test_positional_output_always_within_bounds(pvs, setpoint):
+    pid = PositionalPidController(PAPER_GAINS, setpoint=setpoint, windup_limit=1e6)
+    for pv in pvs:
+        out = pid.update(pv)
+        assert 0.0 <= out <= 100.0
+
+
+@settings(max_examples=30)
+@given(constant_pv=st.floats(min_value=0, max_value=1e4))
+def test_velocity_steady_error_gives_monotone_output(constant_pv):
+    """With a constant PV and I-action, output drifts monotonically
+    toward the correct bound (integral action accumulates via deltas)."""
+    pid = VelocityPidController(
+        PidGains(0.0, 0.01, 0.0), setpoint=1000, initial_output=50
+    )
+    outputs = [pid.update(constant_pv) for _ in range(20)]
+    if constant_pv < 1000:
+        assert outputs == sorted(outputs)
+    elif constant_pv > 1000:
+        assert outputs == sorted(outputs, reverse=True)

@@ -1,0 +1,175 @@
+"""Unit and property tests for the wire protocol."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.middleware.protocol import (
+    MESSAGE_REGISTRY,
+    CreateTenantReply,
+    CreateTenantRequest,
+    DeleteTenantReply,
+    DeleteTenantRequest,
+    Heartbeat,
+    MigrateTenantAccept,
+    MigrateTenantComplete,
+    MigrateTenantRequest,
+    ProtocolError,
+    TenantLocationUpdate,
+    decode_message,
+    decode_varint,
+    encode_message,
+    encode_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestVarint:
+    def test_zero(self):
+        assert encode_varint(0) == b"\x00"
+        assert decode_varint(b"\x00") == (0, 1)
+
+    def test_single_byte_max(self):
+        assert encode_varint(127) == b"\x7f"
+
+    def test_multi_byte(self):
+        assert encode_varint(300) == b"\xac\x02"
+        assert decode_varint(b"\xac\x02") == (300, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_varint(b"\x80")
+
+    def test_too_long_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_varint(b"\xff" * 11)
+
+    def test_offset_decoding(self):
+        data = b"\x05\xac\x02"
+        value, offset = decode_varint(data, 1)
+        assert value == 300
+        assert offset == 3
+
+
+class TestZigzag:
+    def test_small_values(self):
+        assert zigzag_encode(0) == 0
+        assert zigzag_encode(-1) == 1
+        assert zigzag_encode(1) == 2
+        assert zigzag_encode(-2) == 3
+
+    def test_roundtrip_extremes(self):
+        for value in (0, 1, -1, 2**31, -(2**31), 2**62, -(2**62)):
+            assert zigzag_decode(zigzag_encode(value)) == value
+
+
+class TestMessages:
+    def test_registry_has_all_messages(self):
+        assert len(MESSAGE_REGISTRY) == 9
+        assert MESSAGE_REGISTRY[1] is CreateTenantRequest
+
+    def test_roundtrip_every_message_type(self):
+        messages = [
+            CreateTenantRequest(tenant_id=5, data_bytes=1 << 30, buffer_bytes=1 << 27),
+            CreateTenantReply(tenant_id=5, port=3311, ok=True),
+            DeleteTenantRequest(tenant_id=9),
+            DeleteTenantReply(tenant_id=9, ok=False),
+            MigrateTenantRequest(
+                tenant_id=5, target_node="server-2", setpoint=1.5, fixed_rate=0.0
+            ),
+            MigrateTenantAccept(tenant_id=5, ok=True),
+            MigrateTenantComplete(
+                tenant_id=5, duration=93.5, downtime=0.12, bytes_moved=1 << 30
+            ),
+            TenantLocationUpdate(tenant_id=5, node="server-2", port=3311),
+            Heartbeat(node="server-1", tenant_count=4, disk_utilization=0.37),
+        ]
+        for message in messages:
+            wire = encode_message(message)
+            decoded, consumed = decode_message(wire)
+            assert decoded == message
+            assert consumed == len(wire)
+
+    def test_multiple_messages_in_one_buffer(self):
+        a = DeleteTenantRequest(tenant_id=1)
+        b = DeleteTenantRequest(tenant_id=2)
+        wire = encode_message(a) + encode_message(b)
+        first, offset = decode_message(wire)
+        second, end = decode_message(wire, offset)
+        assert (first, second) == (a, b)
+        assert end == len(wire)
+
+    def test_unicode_strings_roundtrip(self):
+        update = TenantLocationUpdate(tenant_id=1, node="sérvér-βeta", port=3307)
+        decoded, _ = decode_message(encode_message(update))
+        assert decoded.node == "sérvér-βeta"
+
+    def test_floats_roundtrip_exactly(self):
+        complete = MigrateTenantComplete(
+            tenant_id=1, duration=0.1 + 0.2, downtime=1e-9, bytes_moved=0
+        )
+        decoded, _ = decode_message(encode_message(complete))
+        assert decoded.duration == complete.duration
+        assert decoded.downtime == complete.downtime
+
+    def test_unknown_message_id_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_message(encode_varint(99) + encode_varint(0))
+
+    def test_truncated_body_raises(self):
+        wire = encode_message(DeleteTenantRequest(tenant_id=300))
+        with pytest.raises(ProtocolError):
+            decode_message(wire[:-1])
+
+    def test_unknown_fields_skipped(self):
+        """Forward compatibility: an extra field from a newer sender is
+        skipped, the known fields still decode."""
+        from repro.middleware.protocol import _encode_field
+
+        wire = encode_message(DeleteTenantRequest(tenant_id=7))
+        # rebuild with an extra unknown field (number 15) in the body
+        msg_id, off = decode_varint(wire)
+        length, off = decode_varint(wire, off)
+        body = wire[off:] + _encode_field(15, "future-field")
+        rebuilt = encode_varint(msg_id) + encode_varint(len(body)) + body
+        decoded, _ = decode_message(rebuilt)
+        assert decoded == DeleteTenantRequest(tenant_id=7)
+
+    def test_unregistered_message_rejected_on_encode(self):
+        class NotAMessage:
+            pass
+
+        with pytest.raises(ProtocolError):
+            encode_message(NotAMessage())
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_varint_roundtrip(value):
+    wire = encode_varint(value)
+    decoded, consumed = decode_varint(wire)
+    assert decoded == value
+    assert consumed == len(wire)
+
+
+@given(st.integers(min_value=-(2**62), max_value=2**62))
+def test_zigzag_roundtrip(value):
+    assert zigzag_decode(zigzag_encode(value)) == value
+
+
+@given(
+    tenant_id=st.integers(min_value=0, max_value=2**31),
+    node=st.text(max_size=50),
+    setpoint=st.floats(allow_nan=False, allow_infinity=False),
+    rate=st.floats(allow_nan=False, allow_infinity=False),
+)
+def test_migrate_request_roundtrip(tenant_id, node, setpoint, rate):
+    message = MigrateTenantRequest(
+        tenant_id=tenant_id, target_node=node, setpoint=setpoint, fixed_rate=rate
+    )
+    decoded, _ = decode_message(encode_message(message))
+    assert decoded == message

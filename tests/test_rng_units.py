@@ -1,0 +1,68 @@
+"""Tests for the RNG streams and unit helpers."""
+
+import pytest
+
+from repro.resources.units import (
+    GB,
+    KB,
+    MB,
+    PAGE_SIZE,
+    from_millis,
+    mb_per_sec,
+    to_mb,
+    to_mb_per_sec,
+    to_millis,
+)
+from repro.simulation import RandomStreams, derive_seed
+
+
+class TestRandomStreams:
+    def test_streams_are_cached_by_name(self):
+        streams = RandomStreams(7)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(7)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_same_seed_same_draws(self):
+        one = RandomStreams(7).stream("x")
+        two = RandomStreams(7).stream("x")
+        assert [one.random() for _ in range(10)] == [two.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        one = RandomStreams(7).stream("x")
+        two = RandomStreams(8).stream("x")
+        assert [one.random() for _ in range(10)] != [two.random() for _ in range(10)]
+
+    def test_spawn_is_independent(self):
+        root = RandomStreams(7)
+        child = root.spawn("child")
+        a = root.stream("x").random()
+        b = child.stream("x").random()
+        assert a != b
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+class TestUnits:
+    def test_byte_constants(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert PAGE_SIZE == 16 * KB
+
+    def test_rate_conversions_roundtrip(self):
+        assert to_mb_per_sec(mb_per_sec(12.5)) == pytest.approx(12.5)
+
+    def test_size_conversion(self):
+        assert to_mb(3 * MB) == pytest.approx(3.0)
+
+    def test_time_conversions_roundtrip(self):
+        assert to_millis(from_millis(250.0)) == pytest.approx(250.0)
+        assert from_millis(1000.0) == pytest.approx(1.0)

@@ -1,0 +1,241 @@
+"""Unit tests for Resource, PriorityResource, Container, and Store."""
+
+import pytest
+
+from repro.simulation import Container, PriorityResource, Resource, Store
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grant_within_capacity_is_immediate(self, env):
+        res = Resource(env, capacity=2)
+
+        def proc(env, res):
+            with res.request() as req:
+                yield req
+                return env.now
+
+        p1 = env.process(proc(env, res))
+        p2 = env.process(proc(env, res))
+        env.run()
+        assert p1.value == 0
+        assert p2.value == 0
+
+    def test_excess_requests_queue_fifo(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def proc(env, res, tag, hold):
+            with res.request() as req:
+                yield req
+                order.append((tag, env.now))
+                yield env.timeout(hold)
+
+        env.process(proc(env, res, "first", 5))
+        env.process(proc(env, res, "second", 5))
+        env.process(proc(env, res, "third", 5))
+        env.run()
+        assert order == [("first", 0), ("second", 5), ("third", 10)]
+
+    def test_count_and_queue_length(self, env):
+        res = Resource(env, capacity=1)
+
+        def holder(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        env.process(holder(env, res))
+        env.process(holder(env, res))
+        env.run(until=1)
+        assert res.count == 1
+        assert res.queue_length == 1
+
+    def test_cancel_queued_request(self, env):
+        res = Resource(env, capacity=1)
+
+        def holder(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        env.process(holder(env, res))
+        env.run(until=1)
+        queued = res.request()
+        assert res.queue_length == 1
+        queued.cancel()
+        assert res.queue_length == 0
+
+    def test_release_via_context_manager(self, env):
+        res = Resource(env, capacity=1)
+
+        def quick(env, res):
+            with res.request() as req:
+                yield req
+            return env.now
+
+        p = env.process(quick(env, res))
+        env.run()
+        assert p.value == 0
+        assert res.count == 0
+
+    def test_granted_at_recorded(self, env):
+        res = Resource(env, capacity=1)
+
+        def holder(env, res, hold):
+            with res.request() as req:
+                yield req
+                yield env.timeout(hold)
+
+        def later(env, res):
+            yield env.timeout(1)
+            with res.request() as req:
+                yield req
+                return req.granted_at
+
+        env.process(holder(env, res, 5))
+        p = env.process(later(env, res))
+        env.run()
+        assert p.value == 5
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def queued(env, res, tag, priority, delay):
+            yield env.timeout(delay)
+            with res.request(priority=priority) as req:
+                yield req
+                order.append(tag)
+
+        env.process(holder(env, res))
+        env.process(queued(env, res, "low-pri", 5, 1))
+        env.process(queued(env, res, "high-pri", 0, 2))
+        env.run()
+        assert order == ["high-pri", "low-pri"]
+
+
+class TestContainer:
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=10, init=11)
+
+    def test_put_clamps_to_capacity(self, env):
+        box = Container(env, capacity=10, init=5)
+        box.put(100)
+        assert box.level == 10
+
+    def test_get_blocks_until_available(self, env):
+        box = Container(env, capacity=100, init=0)
+
+        def getter(env, box):
+            yield box.get(30)
+            return env.now
+
+        def putter(env, box):
+            for _ in range(3):
+                yield env.timeout(1)
+                box.put(10)
+
+        p = env.process(getter(env, box))
+        env.process(putter(env, box))
+        env.run()
+        assert p.value == 3
+        assert box.level == 0
+
+    def test_getters_served_fifo_head_blocks(self, env):
+        box = Container(env, capacity=100, init=0)
+        order = []
+
+        def getter(env, box, amount, tag, delay):
+            yield env.timeout(delay)
+            yield box.get(amount)
+            order.append(tag)
+
+        env.process(getter(env, box, 50, "big", 0.1))
+        env.process(getter(env, box, 5, "small", 0.2))
+
+        def putter(env, box):
+            yield env.timeout(1)
+            box.put(10)  # enough for small, but big is at the head
+            yield env.timeout(1)
+            box.put(50)
+
+        env.process(putter(env, box))
+        env.run()
+        assert order == ["big", "small"]
+
+    def test_negative_amounts_rejected(self, env):
+        box = Container(env, capacity=10)
+        with pytest.raises(ValueError):
+            box.put(-1)
+        with pytest.raises(ValueError):
+            box.get(-1)
+
+    def test_get_larger_than_capacity_rejected(self, env):
+        box = Container(env, capacity=10)
+        with pytest.raises(ValueError):
+            box.get(11)
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        store.put("x")
+
+        def getter(env, store):
+            item = yield store.get()
+            return item
+
+        p = env.process(getter(env, store))
+        env.run()
+        assert p.value == "x"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+
+        def getter(env, store):
+            item = yield store.get()
+            return (item, env.now)
+
+        def putter(env, store):
+            yield env.timeout(4)
+            store.put("late")
+
+        p = env.process(getter(env, store))
+        env.process(putter(env, store))
+        env.run()
+        assert p.value == ("late", 4)
+
+    def test_fifo_order(self, env):
+        store = Store(env)
+        got = []
+
+        def getter(env, store):
+            while len(got) < 3:
+                item = yield store.get()
+                got.append(item)
+
+        env.process(getter(env, store))
+        for item in (1, 2, 3):
+            store.put(item)
+        env.run()
+        assert got == [1, 2, 3]
+
+    def test_items_view(self, env):
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        assert store.items == ["a", "b"]

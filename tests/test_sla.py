@@ -1,0 +1,85 @@
+"""Tests for the SLA model."""
+
+import pytest
+
+from repro.core.sla import LatencySla, SlaMonitor
+from repro.simulation import Series
+
+
+class TestLatencySla:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencySla(percentile=0, bound=1)
+        with pytest.raises(ValueError):
+            LatencySla(percentile=101, bound=1)
+        with pytest.raises(ValueError):
+            LatencySla(percentile=95, bound=0)
+
+    def test_paper_example_500ms_p99(self):
+        sla = LatencySla(percentile=99, bound=0.5)
+        ok = [0.1] * 99 + [0.4]
+        assert sla.satisfied_by(ok)
+        violated = [0.1] * 98 + [0.6, 0.7]
+        assert not sla.satisfied_by(violated)
+
+    def test_relaxed_sla_still_satisfied(self):
+        """The paper's 8 MB/s case: fails p99<=500ms but passes p90<=1000ms."""
+        latencies = [0.2] * 90 + [0.9] * 8 + [1.5] * 2
+        strict = LatencySla(percentile=99, bound=0.5)
+        relaxed = LatencySla(percentile=90, bound=1.0)
+        assert not strict.satisfied_by(latencies)
+        assert relaxed.satisfied_by(latencies)
+
+    def test_empty_sample_vacuously_satisfied(self):
+        assert LatencySla(percentile=95, bound=1).satisfied_by([])
+
+    def test_violation_fraction(self):
+        sla = LatencySla(percentile=95, bound=0.5)
+        assert sla.violation_fraction([0.1, 0.6, 0.7, 0.2]) == pytest.approx(0.5)
+        assert sla.violation_fraction([]) == 0.0
+
+    def test_describe(self):
+        assert LatencySla(percentile=99, bound=0.5).describe() == "p99 <= 500 ms"
+
+
+class TestSlaMonitor:
+    def make_series(self):
+        s = Series("lat")
+        # 0-10s: fast; 10-20s: slow
+        for t in range(10):
+            s.append(float(t), 0.1)
+        for t in range(10, 20):
+            s.append(float(t), 2.0)
+        return s
+
+    def test_validation(self):
+        sla = LatencySla(percentile=95, bound=0.5)
+        with pytest.raises(ValueError):
+            SlaMonitor(sla, window=0)
+        with pytest.raises(ValueError):
+            SlaMonitor(sla, penalty=-1)
+
+    def test_windows_evaluated_independently(self):
+        monitor = SlaMonitor(LatencySla(percentile=95, bound=0.5), window=10.0)
+        reports = monitor.evaluate(self.make_series(), 0.0, 20.0)
+        assert len(reports) == 2
+        assert reports[0].satisfied
+        assert not reports[1].satisfied
+        assert reports[0].transactions == 10
+
+    def test_total_penalty(self):
+        monitor = SlaMonitor(
+            LatencySla(percentile=95, bound=0.5), window=10.0, penalty=3.0
+        )
+        assert monitor.total_penalty(self.make_series(), 0.0, 20.0) == 3.0
+
+    def test_partial_final_window(self):
+        monitor = SlaMonitor(LatencySla(percentile=95, bound=0.5), window=15.0)
+        reports = monitor.evaluate(self.make_series(), 0.0, 20.0)
+        assert len(reports) == 2
+        assert reports[1].end == 20.0
+
+    def test_reversed_range_rejected(self):
+        monitor = SlaMonitor(LatencySla(percentile=95, bound=0.5))
+        with pytest.raises(ValueError):
+            monitor.evaluate(Series("x"), 10.0, 0.0)

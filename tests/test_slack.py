@@ -1,0 +1,130 @@
+"""Tests for the slack model (Eq. 1-4) and the empirical estimator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.migration.slack import (
+    AdditiveSlackModel,
+    EmpiricalSlackEstimator,
+    RateLatencySample,
+)
+
+
+class TestAdditiveSlackModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdditiveSlackModel(capacity=0)
+
+    def test_combined_demand_is_additive(self):
+        model = AdditiveSlackModel(capacity=1.0)
+        assert model.combined_demand([0.2, 0.3], migration=0.1) == pytest.approx(0.6)
+
+    def test_negative_demand_rejected(self):
+        model = AdditiveSlackModel(capacity=1.0)
+        with pytest.raises(ValueError):
+            model.combined_demand([-0.1])
+
+    def test_overload_detection(self):
+        model = AdditiveSlackModel(capacity=1.0)
+        assert not model.is_overloaded([0.5], migration=0.4)
+        assert model.is_overloaded([0.5], migration=0.6)
+
+    def test_slack_equation_4(self):
+        model = AdditiveSlackModel(capacity=1.0)
+        assert model.slack([0.3, 0.2]) == pytest.approx(0.5)
+
+    def test_slack_never_negative(self):
+        model = AdditiveSlackModel(capacity=1.0)
+        assert model.slack([0.8, 0.9]) == 0.0
+
+
+class TestRateLatencySample:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateLatencySample(rate=-1, latency=0.1)
+        with pytest.raises(ValueError):
+            RateLatencySample(rate=1, latency=-0.1)
+
+
+class TestEmpiricalSlackEstimator:
+    def fixture_curve(self):
+        """A convex latency curve with a knee at rate 12."""
+        estimator = EmpiricalSlackEstimator()
+        for rate, latency in [
+            (0, 0.08),
+            (4, 0.12),
+            (8, 0.25),
+            (12, 0.70),
+            (16, 9.0),
+        ]:
+            estimator.add(rate * 1e6, latency)
+        return estimator
+
+    def test_samples_sorted_by_rate(self):
+        estimator = EmpiricalSlackEstimator()
+        estimator.add(5.0, 0.2)
+        estimator.add(1.0, 0.1)
+        assert [s.rate for s in estimator.samples] == [1.0, 5.0]
+        assert len(estimator) == 2
+
+    def test_max_rate_within_bound(self):
+        estimator = self.fixture_curve()
+        assert estimator.max_rate_within(0.5) == 8e6
+        assert estimator.max_rate_within(10.0) == 16e6
+
+    def test_max_rate_none_when_nothing_qualifies(self):
+        estimator = self.fixture_curve()
+        assert estimator.max_rate_within(0.01) is None
+
+    def test_max_rate_bound_validation(self):
+        estimator = self.fixture_curve()
+        with pytest.raises(ValueError):
+            estimator.max_rate_within(0)
+
+    def test_max_rate_with_custom_predicate(self):
+        estimator = self.fixture_curve()
+        rate = estimator.max_rate_within(0, predicate=lambda lat: lat < 1.0)
+        assert rate == 12e6
+
+    def test_knee_found_at_sharpest_bend(self):
+        estimator = self.fixture_curve()
+        assert estimator.knee_rate() == 12e6
+
+    def test_knee_needs_three_samples(self):
+        estimator = EmpiricalSlackEstimator()
+        estimator.add(1, 0.1)
+        estimator.add(2, 0.2)
+        assert estimator.knee_rate() is None
+
+    def test_constructor_accepts_samples(self):
+        samples = [RateLatencySample(1.0, 0.1), RateLatencySample(2.0, 0.2)]
+        estimator = EmpiricalSlackEstimator(samples)
+        assert len(estimator) == 2
+
+
+@given(
+    demands=st.lists(st.floats(min_value=0, max_value=10), max_size=10),
+    capacity=st.floats(min_value=0.1, max_value=100),
+)
+def test_slack_plus_demand_never_exceeds_capacity(demands, capacity):
+    model = AdditiveSlackModel(capacity=capacity)
+    slack = model.slack(demands)
+    assert slack >= 0
+    if slack > 0:
+        # using exactly the slack must not overload the server
+        assert not model.is_overloaded(demands, migration=slack * 0.999)
+
+
+@given(
+    latencies=st.lists(
+        st.floats(min_value=0.001, max_value=100), min_size=3, max_size=20
+    )
+)
+def test_knee_rate_is_an_observed_rate(latencies):
+    estimator = EmpiricalSlackEstimator()
+    for i, latency in enumerate(latencies):
+        estimator.add(float(i), latency)
+    knee = estimator.knee_rate()
+    if knee is not None:
+        assert knee in {s.rate for s in estimator.samples}

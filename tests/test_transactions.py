@@ -1,0 +1,75 @@
+"""Tests for the transaction/operation model."""
+
+import pytest
+
+from repro.db.transactions import Operation, OperationCosts, OpType, Transaction
+
+
+class TestOpType:
+    def test_write_classification(self):
+        assert OpType.UPDATE.is_write
+        assert OpType.INSERT.is_write
+        assert OpType.DELETE.is_write
+        assert not OpType.SELECT.is_write
+        assert not OpType.SCAN.is_write
+
+
+class TestOperation:
+    def test_negative_key_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(OpType.SELECT, key=-1)
+
+    def test_scan_length_only_for_scans(self):
+        with pytest.raises(ValueError):
+            Operation(OpType.SELECT, key=0, scan_length=5)
+        op = Operation(OpType.SCAN, key=0, scan_length=5)
+        assert op.scan_length == 5
+
+    def test_scan_length_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Operation(OpType.SCAN, key=0, scan_length=0)
+
+
+class TestTransaction:
+    def make(self, n_reads, n_writes):
+        ops = [Operation(OpType.SELECT, key=i) for i in range(n_reads)]
+        ops += [Operation(OpType.UPDATE, key=i) for i in range(n_writes)]
+        return Transaction(1, ops)
+
+    def test_read_write_counts(self):
+        txn = self.make(8, 2)
+        assert txn.read_count == 8
+        assert txn.write_count == 2
+
+    def test_latency_requires_completion(self):
+        txn = self.make(1, 0)
+        with pytest.raises(ValueError):
+            txn.latency
+        txn.arrived_at = 1.0
+        txn.finished_at = 3.5
+        assert txn.latency == pytest.approx(2.5)
+
+    def test_queue_time(self):
+        txn = self.make(1, 0)
+        txn.arrived_at = 1.0
+        with pytest.raises(ValueError):
+            txn.queue_time
+        txn.started_at = 1.4
+        assert txn.queue_time == pytest.approx(0.4)
+
+
+class TestOperationCosts:
+    def test_defaults_valid(self):
+        costs = OperationCosts()
+        assert costs.cpu_per_op > 0
+        assert costs.log_bytes_per_write > 0
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(ValueError):
+            OperationCosts(cpu_per_op=-1)
+
+    def test_nonpositive_log_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            OperationCosts(log_bytes_per_write=0)
+        with pytest.raises(ValueError):
+            OperationCosts(commit_flush_bytes=0)

@@ -1,0 +1,185 @@
+"""Tests for Ziegler-Nichols tuning, the relay tuner, and adaptive control."""
+
+import math
+
+import pytest
+
+from repro.control.adaptive import AdaptivePidController, ProcessGainEstimator
+from repro.control.pid import PidGains
+from repro.control.tuning import RelayTuner, ziegler_nichols
+
+
+class TestZieglerNichols:
+    def test_classic_pid_row(self):
+        gains = ziegler_nichols(ultimate_gain=10.0, ultimate_period=4.0)
+        assert gains.kp == pytest.approx(6.0)
+        assert gains.ki == pytest.approx(6.0 / 2.0)  # Kp / (Tu/2)
+        assert gains.kd == pytest.approx(6.0 * 0.5)  # Kp * Tu/8
+
+    def test_p_only_row(self):
+        gains = ziegler_nichols(10.0, 4.0, variant="p")
+        assert gains.kp == pytest.approx(5.0)
+        assert gains.ki == 0.0
+        assert gains.kd == 0.0
+
+    def test_pi_row_has_no_derivative(self):
+        gains = ziegler_nichols(10.0, 4.0, variant="pi")
+        assert gains.kd == 0.0
+        assert gains.ki > 0.0
+
+    def test_no_overshoot_softer_than_classic(self):
+        classic = ziegler_nichols(10.0, 4.0, variant="pid")
+        gentle = ziegler_nichols(10.0, 4.0, variant="no-overshoot")
+        assert gentle.kp < classic.kp
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            ziegler_nichols(10.0, 4.0, variant="nope")
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            ziegler_nichols(0, 4.0)
+        with pytest.raises(ValueError):
+            ziegler_nichols(10.0, 0)
+
+
+class TestRelayTuner:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RelayTuner(setpoint=1, low=5, high=5)
+        with pytest.raises(ValueError):
+            RelayTuner(setpoint=1, low=0, high=1, hysteresis=-1)
+        with pytest.raises(ValueError):
+            RelayTuner(setpoint=1, low=0, high=1, cycles_needed=0)
+
+    def test_relay_finds_known_plant(self):
+        """Drive a first-order-lag plant; the measured Tu and Ku must
+        describe the induced oscillation consistently."""
+        tuner = RelayTuner(setpoint=50.0, low=0.0, high=100.0, cycles_needed=4)
+        pv = 0.0
+        output = tuner.output
+        dt = 0.1
+        t = 0.0
+        for _ in range(5000):
+            # plant: pv relaxes toward the actuator value
+            pv += (output - pv) * dt / 2.0
+            output = tuner.step(t, pv)
+            t += dt
+            if tuner.done:
+                break
+        assert tuner.done
+        result = tuner.result
+        assert result.cycles >= 4
+        assert result.ultimate_period > 0
+        assert result.ultimate_gain > 0
+        # Ku = 4d / (pi a): check the identity against the amplitude
+        d = 50.0
+        a = result.oscillation_amplitude / 2
+        assert result.ultimate_gain == pytest.approx(4 * d / (math.pi * a), rel=1e-6)
+
+    def test_relay_toggles_at_thresholds(self):
+        tuner = RelayTuner(setpoint=10.0, low=0.0, high=1.0, hysteresis=1.0)
+        assert tuner.step(0.0, 5.0) == 1.0      # below: stay high
+        assert tuner.step(1.0, 11.5) == 0.0     # above setpoint + hysteresis
+        assert tuner.step(2.0, 10.5) == 0.0     # inside band: hold
+        assert tuner.step(3.0, 8.5) == 1.0      # below setpoint - hysteresis
+
+    def test_gains_from_relay_feed_zn(self):
+        tuner = RelayTuner(setpoint=50.0, low=0.0, high=100.0)
+        pv, output, t = 0.0, tuner.output, 0.0
+        while not tuner.done and t < 500:
+            pv += (output - pv) * 0.05
+            output = tuner.step(t, pv)
+            t += 0.1
+        gains = ziegler_nichols(
+            tuner.result.ultimate_gain, tuner.result.ultimate_period
+        )
+        assert gains.kp > 0 and gains.ki > 0 and gains.kd > 0
+
+
+class TestProcessGainEstimator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessGainEstimator(forgetting=0.0)
+
+    def test_converges_to_true_gain(self):
+        estimator = ProcessGainEstimator()
+        true_gain = 42.0
+        for i in range(1, 100):
+            du = 0.5 if i % 2 else -0.3
+            estimator.update(du, true_gain * du)
+        assert estimator.gain == pytest.approx(true_gain, rel=1e-3)
+
+    def test_ignores_zero_deltas(self):
+        estimator = ProcessGainEstimator()
+        estimator.update(0.0, 100.0)
+        assert estimator.samples == 0
+
+    def test_tracks_changing_gain(self):
+        estimator = ProcessGainEstimator(forgetting=0.8)
+        for i in range(50):
+            estimator.update(1.0, 10.0)
+        for i in range(50):
+            estimator.update(1.0, 30.0)
+        assert estimator.gain == pytest.approx(30.0, rel=0.05)
+
+
+class TestAdaptivePid:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptivePidController(PidGains(1, 1, 1), setpoint=1, reference_gain=0)
+        with pytest.raises(ValueError):
+            AdaptivePidController(
+                PidGains(1, 1, 1), setpoint=1, reference_gain=1, scale_min=2, scale_max=1
+            )
+
+    def test_base_gains_until_min_samples(self):
+        pid = AdaptivePidController(
+            PidGains(0.025, 0.005, 0.015), setpoint=1000, reference_gain=10
+        )
+        pid.update(100.0)
+        assert pid.current_scale == 1.0
+
+    def test_softens_when_plant_more_sensitive(self):
+        pid = AdaptivePidController(
+            PidGains(0.1, 0.05, 0.0),
+            setpoint=1000,
+            reference_gain=10.0,
+            min_samples=3,
+        )
+        # Feed a plant with gain 100 (10x more sensitive than reference):
+        pv = 100.0
+        for _ in range(30):
+            out = pid.update(pv)
+            pv = 100.0 + 100.0 * out  # plant: pv = 100 + 100 * output
+        assert pid.current_scale < 0.5
+
+    def test_stiffens_when_plant_insensitive(self):
+        pid = AdaptivePidController(
+            PidGains(0.1, 0.05, 0.0),
+            setpoint=1000,
+            reference_gain=100.0,
+            min_samples=3,
+        )
+        pv = 100.0
+        for _ in range(30):
+            out = pid.update(pv)
+            pv = 100.0 + 1.0 * out  # very insensitive plant
+        assert pid.current_scale > 1.0
+
+    def test_output_within_bounds(self):
+        pid = AdaptivePidController(
+            PidGains(0.5, 0.5, 0.1), setpoint=500, reference_gain=5
+        )
+        for pv in (0, 1e6, 0, 1e6, 250, 800):
+            out = pid.update(pv)
+            assert 0 <= out <= 100
+
+    def test_setpoint_and_set_output_passthrough(self):
+        pid = AdaptivePidController(
+            PidGains(0.1, 0.0, 0.0), setpoint=500, reference_gain=5
+        )
+        pid.set_setpoint(900)
+        assert pid.setpoint == 900
+        pid.set_output(33)
+        assert pid.output == 33

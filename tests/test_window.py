@@ -1,0 +1,56 @@
+"""Tests for the controller's latency window filter."""
+
+import pytest
+
+from repro.control.window import DEFAULT_TIMESTEP, DEFAULT_WINDOW, LatencyWindow
+from repro.simulation import Series
+
+
+class TestLatencyWindow:
+    def test_paper_defaults(self):
+        assert DEFAULT_WINDOW == 3.0
+        assert DEFAULT_TIMESTEP == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyWindow([])
+        with pytest.raises(ValueError):
+            LatencyWindow([Series("x")], window=0)
+
+    def test_empty_series_returns_none(self):
+        window = LatencyWindow([Series("x")])
+        assert window.sample(10.0) is None
+
+    def test_initial_value_used_when_empty(self):
+        window = LatencyWindow([Series("x")], initial_value=0.5)
+        assert window.sample(10.0) == 0.5
+
+    def test_mean_over_window(self):
+        s = Series("x")
+        s.append(8.0, 0.1)
+        s.append(9.0, 0.3)
+        window = LatencyWindow([s], window=3.0)
+        assert window.sample(10.0) == pytest.approx(0.2)
+
+    def test_old_samples_excluded(self):
+        s = Series("x")
+        s.append(1.0, 10.0)
+        s.append(9.5, 0.2)
+        window = LatencyWindow([s], window=3.0)
+        assert window.sample(10.0) == pytest.approx(0.2)
+
+    def test_holds_last_value_through_gap(self):
+        s = Series("x")
+        s.append(1.0, 0.4)
+        window = LatencyWindow([s], window=3.0)
+        assert window.sample(2.0) == pytest.approx(0.4)
+        # nothing new for a long time: hold the last value
+        assert window.sample(60.0) == pytest.approx(0.4)
+
+    def test_pools_multiple_series(self):
+        a, b = Series("a"), Series("b")
+        a.append(9.0, 0.1)
+        b.append(9.5, 0.5)
+        b.append(9.9, 0.6)
+        window = LatencyWindow([a, b], window=3.0)
+        assert window.sample(10.0) == pytest.approx((0.1 + 0.5 + 0.6) / 3)

@@ -1,0 +1,190 @@
+"""Tests for mixes, transaction factories, and arrival processes."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.transactions import OpType
+from repro.simulation import Environment
+from repro.workload.distributions import UniformChooser
+from repro.workload.generator import (
+    BurstModulator,
+    FixedIntervalArrivals,
+    MarkovModulatedArrivals,
+    PoissonArrivals,
+    TransactionFactory,
+)
+from repro.workload.mix import SLACKER_MIX, YCSB_A, YCSB_C, YCSB_E, OperationMix
+from repro.db.pages import TableLayout
+
+
+class TestOperationMix:
+    def test_weights_normalized(self):
+        mix = OperationMix({OpType.SELECT: 85, OpType.UPDATE: 15})
+        assert mix.weight(OpType.SELECT) == pytest.approx(0.85)
+        assert mix.weight(OpType.UPDATE) == pytest.approx(0.15)
+        assert mix.weight(OpType.DELETE) == 0.0
+
+    def test_write_fraction(self):
+        assert SLACKER_MIX.write_fraction == pytest.approx(0.15)
+        assert YCSB_A.write_fraction == pytest.approx(0.5)
+        assert YCSB_C.write_fraction == 0.0
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            OperationMix({})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            OperationMix({OpType.SELECT: -1, OpType.UPDATE: 2})
+
+    def test_sample_follows_weights(self):
+        rng = random.Random(5)
+        samples = [SLACKER_MIX.sample(rng) for _ in range(10_000)]
+        write_frac = sum(1 for s in samples if s.is_write) / len(samples)
+        assert 0.12 <= write_frac <= 0.18
+
+    def test_sample_single_type(self):
+        rng = random.Random(5)
+        assert all(YCSB_C.sample(rng) is OpType.SELECT for _ in range(100))
+
+
+class TestTransactionFactory:
+    def make_factory(self, mix=SLACKER_MIX, ops=10):
+        layout = TableLayout(num_rows=10_000)
+        chooser = UniformChooser(layout.num_rows, random.Random(1))
+        return TransactionFactory(
+            layout, chooser, random.Random(2), mix=mix, ops_per_txn=ops
+        )
+
+    def test_builds_requested_op_count(self):
+        factory = self.make_factory(ops=10)
+        txn = factory.build(arrived_at=1.0)
+        assert len(txn.operations) == 10
+        assert txn.arrived_at == 1.0
+
+    def test_txn_ids_increase(self):
+        factory = self.make_factory()
+        ids = [factory.build().txn_id for _ in range(5)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_keys_within_layout(self):
+        factory = self.make_factory()
+        for _ in range(50):
+            txn = factory.build()
+            for op in txn.operations:
+                assert 0 <= op.key < factory.layout.num_rows
+
+    def test_scan_lengths_bounded(self):
+        factory = self.make_factory(mix=YCSB_E)
+        for _ in range(50):
+            for op in factory.build().operations:
+                if op.op_type is OpType.SCAN:
+                    assert 1 <= op.scan_length <= factory.max_scan_length
+                    assert op.key + op.scan_length <= factory.layout.num_rows
+
+    def test_invalid_params_rejected(self):
+        layout = TableLayout(num_rows=100)
+        chooser = UniformChooser(100, random.Random(1))
+        with pytest.raises(ValueError):
+            TransactionFactory(layout, chooser, random.Random(2), ops_per_txn=0)
+        with pytest.raises(ValueError):
+            TransactionFactory(layout, chooser, random.Random(2), max_scan_length=0)
+
+
+class TestPoissonArrivals:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0, random.Random(1))
+
+    def test_mean_interarrival_close_to_rate(self):
+        arrivals = PoissonArrivals(10.0, random.Random(7))
+        gaps = [arrivals.next_interarrival() for _ in range(5000)]
+        assert sum(gaps) / len(gaps) == pytest.approx(0.1, rel=0.1)
+
+    def test_set_and_scale_rate(self):
+        arrivals = PoissonArrivals(10.0, random.Random(7))
+        arrivals.set_rate(20.0)
+        assert arrivals.rate == 20.0
+        arrivals.scale_rate(1.4)
+        assert arrivals.rate == pytest.approx(28.0)
+        with pytest.raises(ValueError):
+            arrivals.set_rate(0)
+
+
+class TestFixedIntervalArrivals:
+    def test_deterministic_gap(self):
+        arrivals = FixedIntervalArrivals(4.0)
+        assert arrivals.next_interarrival() == 0.25
+        arrivals.set_rate(2.0)
+        assert arrivals.next_interarrival() == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedIntervalArrivals(0)
+
+
+class TestMarkovModulatedArrivals:
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            MarkovModulatedArrivals(env, 0, random.Random(1))
+        with pytest.raises(ValueError):
+            MarkovModulatedArrivals(env, 1, random.Random(1), burst_factor=0.5)
+        with pytest.raises(ValueError):
+            BurstModulator(env, random.Random(1), mean_normal=0)
+
+    def test_rate_doubles_in_burst_state(self):
+        env = Environment()
+        arrivals = MarkovModulatedArrivals(
+            env, 4.0, random.Random(1), burst_factor=2.0
+        )
+        assert arrivals.rate == 4.0
+        arrivals.modulator._bursting = True
+        assert arrivals.rate == 8.0
+
+    def test_mean_rate_formula(self):
+        env = Environment()
+        arrivals = MarkovModulatedArrivals(
+            env, 4.0, random.Random(1), burst_factor=2.0,
+            mean_normal=20.0, mean_burst=5.0,
+        )
+        assert arrivals.mean_rate == pytest.approx(4.0 * (20 + 10) / 25)
+
+    def test_modulator_flips_states_over_time(self):
+        env = Environment()
+        modulator = BurstModulator(
+            env, random.Random(3), mean_normal=1.0, mean_burst=1.0
+        )
+        env.run(until=100.0)
+        assert modulator.transitions > 10
+
+    def test_shared_modulator_correlates(self):
+        env = Environment()
+        modulator = BurstModulator(env, random.Random(3))
+        a = MarkovModulatedArrivals(
+            env, 1.0, random.Random(4), modulator=modulator
+        )
+        b = MarkovModulatedArrivals(
+            env, 2.0, random.Random(5), modulator=modulator
+        )
+        modulator._bursting = True
+        assert a.bursting and b.bursting
+
+    def test_scale_rate_keeps_burst_structure(self):
+        env = Environment()
+        arrivals = MarkovModulatedArrivals(
+            env, 4.0, random.Random(1), burst_factor=3.0
+        )
+        arrivals.scale_rate(1.4)
+        assert arrivals.base_rate == pytest.approx(5.6)
+        assert arrivals.burst_factor == 3.0
+
+
+@given(st.floats(min_value=0.01, max_value=1000), st.integers())
+def test_poisson_gaps_positive(rate, seed):
+    arrivals = PoissonArrivals(rate, random.Random(seed))
+    assert arrivals.next_interarrival() >= 0
