@@ -30,6 +30,17 @@ DESCRIPTIONS = {
 }
 
 
+def _walltime() -> float:
+    """Wall-clock seconds, for reporting how long a driver took.
+
+    This is the one sanctioned wall-clock read in the package: it only
+    feeds the human-facing "[figN: 12.3 s wall]" footer and never enters
+    simulated results, so the linter exception stays scoped to this
+    helper rather than allowlisting the whole module.
+    """
+    return time.time()  # slackerlint: disable=SLK001
+
+
 def _render(experiment_id: str, result) -> str:
     if hasattr(result, "table"):
         return result.table().render()
@@ -69,7 +80,7 @@ def cmd_run(
             return 2
     for eid in experiment_ids:
         module = REGISTRY[eid]
-        started = time.time()
+        started = _walltime()
         kwargs = {}
         # stop-and-copy sweeps sizes rather than scaling one tenant
         if eid != "stop-and-copy":
@@ -80,7 +91,7 @@ def cmd_run(
             kwargs["config"] = config
         result = module.run(**kwargs)
         print(_render(eid, result))
-        print(f"[{eid}: {time.time() - started:.1f} s wall]\n")
+        print(f"[{eid}: {_walltime() - started:.1f} s wall]\n")
     return 0
 
 

@@ -20,6 +20,8 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..simulation.rng import default_rng
+
 __all__ = [
     "ConfidenceInterval",
     "bootstrap_mean_ci",
@@ -65,7 +67,7 @@ def bootstrap_mean_ci(
         raise ValueError(f"confidence must be in (0, 1), got {confidence}")
     if n_resamples < 100:
         raise ValueError(f"n_resamples must be >= 100, got {n_resamples}")
-    rng = rng or random.Random(0)
+    rng = rng if rng is not None else default_rng("compare:bootstrap_mean_ci")
     n = len(values)
     means = sorted(
         _mean([values[rng.randrange(n)] for _ in range(n)])
@@ -98,7 +100,7 @@ def bootstrap_difference(
         raise ValueError("both samples must be non-empty")
     if not 0 < confidence < 1:
         raise ValueError(f"confidence must be in (0, 1), got {confidence}")
-    rng = rng or random.Random(0)
+    rng = rng if rng is not None else default_rng("compare:bootstrap_difference")
     na, nb = len(a), len(b)
     diffs = sorted(
         _mean([a[rng.randrange(na)] for _ in range(na)])

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
+from ..resources.units import to_mb_per_sec
+
 __all__ = ["Table", "format_ms", "format_rate", "format_seconds"]
 
 
@@ -25,7 +27,7 @@ def format_rate(bytes_per_sec: Optional[float]) -> str:
     """Format a rate in bytes/second as MB/sec."""
     if bytes_per_sec is None:
         return "-"
-    return f"{bytes_per_sec / (1024 * 1024):.1f} MB/s"
+    return f"{to_mb_per_sec(bytes_per_sec):.1f} MB/s"
 
 
 def format_seconds(seconds: Optional[float]) -> str:

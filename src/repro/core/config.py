@@ -86,7 +86,7 @@ class TenantConfig:
     #: InnoDB buffer pool size (paper evaluation: 128 MB).
     buffer_bytes: int = 128 * MB
     #: Row size, bytes (YCSB-style ~1 KB records).
-    row_size: int = 1024
+    row_size: int = 1 * KB
 
     def __post_init__(self) -> None:
         if self.data_bytes <= 0 or self.buffer_bytes <= 0 or self.row_size <= 0:

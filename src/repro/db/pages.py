@@ -11,12 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..resources.units import GB, PAGE_SIZE
+from ..resources.units import GB, KB, PAGE_SIZE
 
 __all__ = ["TableLayout", "DEFAULT_ROW_SIZE"]
 
 #: YCSB's default record size: 10 fields x 100 bytes, plus key overhead.
-DEFAULT_ROW_SIZE = 1024
+DEFAULT_ROW_SIZE = 1 * KB
 
 
 @dataclass(frozen=True)

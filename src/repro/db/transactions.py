@@ -14,6 +14,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..resources.units import KB
+
 __all__ = ["OpType", "Operation", "Transaction", "OperationCosts"]
 
 
@@ -109,7 +111,7 @@ class OperationCosts:
     #: Encoded binlog record size per write operation, bytes.
     log_bytes_per_write: int = 256
     #: Size of a group-commit log flush (sequential disk write), bytes.
-    commit_flush_bytes: int = 4096
+    commit_flush_bytes: int = 4 * KB
 
     def __post_init__(self) -> None:
         if self.cpu_per_op < 0 or self.cpu_per_write < 0:

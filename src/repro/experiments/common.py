@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from ..core.config import ExperimentConfig
+from ..resources.units import MB
 
 __all__ = ["scaled_config", "DEFAULT_SCALE"]
 
@@ -27,8 +28,8 @@ def scaled_config(
         raise ValueError(f"scale must be positive, got {scale}")
     tenant = replace(
         config.tenant,
-        data_bytes=max(1 << 20, int(config.tenant.data_bytes * scale)),
-        buffer_bytes=max(1 << 20, int(config.tenant.buffer_bytes * scale)),
+        data_bytes=max(1 * MB, int(config.tenant.data_bytes * scale)),
+        buffer_bytes=max(1 * MB, int(config.tenant.buffer_bytes * scale)),
     )
     out = replace(config, tenant=tenant)
     if seed is not None:

@@ -1,0 +1,42 @@
+"""slackerlint: an AST-based determinism & units linter for this repo.
+
+The headline claim of the reproduction — latency within 10 % of the PID
+setpoint during live migration — is only checkable if the discrete-event
+simulation is bit-for-bit deterministic under a fixed seed.  This
+package machine-checks the conventions that make it so:
+
+* sim-clock time (``env.now``) instead of wall clock,
+* seeded per-purpose RNG streams instead of the global ``random`` module,
+* ``resources/units.py`` helpers instead of raw byte literals,
+* no float equality, mutable defaults, or swallowed exceptions.
+
+Usage::
+
+    python -m repro.lint [paths...]        # lint, exit non-zero on findings
+    python -m repro.lint --format json src # machine-readable output
+    repro-lint src                          # console-script equivalent
+
+Findings can be suppressed with pragmas (see ``docs/LINT.md``)::
+
+    x = time.time()  # slackerlint: disable=SLK001   (this line only)
+    # slackerlint: disable=SLK006                    (standalone: whole file)
+"""
+
+from __future__ import annotations
+
+from .config import LintConfig, load_pyproject_config
+from .framework import Finding, Rule, all_rules, lint_file, lint_paths, lint_source
+
+# Importing the rules module registers every SLK rule with the registry.
+from . import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "LintConfig",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_pyproject_config",
+]

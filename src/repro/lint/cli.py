@@ -1,0 +1,121 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro-lint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage/IO errors — so CI can gate on
+the linter the same way it gates on pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .config import LintConfig, find_pyproject, load_pyproject_config
+from .framework import all_rules, iter_python_files, lint_paths
+
+# Ensure rules are registered when the CLI is used directly.
+from . import rules as _rules  # noqa: F401
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="slackerlint: determinism & units linter for the Slacker "
+        "reproduction (rules SLK001-SLK007).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--disable",
+        default="",
+        metavar="RULES",
+        help="comma-separated rule ids to skip, e.g. SLK004,SLK006",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore [tool.repro.lint] in pyproject.toml",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    config: Optional[LintConfig] = None
+    if not args.no_config:
+        pyproject = find_pyproject()
+        if pyproject is not None:
+            config = load_pyproject_config(pyproject)
+    config = config or LintConfig()
+    extra = tuple(r.strip() for r in args.disable.split(",") if r.strip())
+    if extra:
+        config = config.with_extra_disabled(extra)
+    return config
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # Output was piped into e.g. `head` which closed early; that is
+        # not a lint failure, but findings may have been truncated.
+        return 1
+
+
+def _run(argv: Optional[list[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule_cls in sorted(all_rules().items()):
+            print(f"{rule_id}  {rule_cls.summary}")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    config = _resolve_config(args)
+    files = list(iter_python_files(args.paths))
+    findings = lint_paths(args.paths, config=config)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files_checked": len(files),
+                    "findings": [f.to_dict() for f in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"{len(findings)} {noun} in {len(files)} files", file=sys.stderr)
+
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,321 @@
+"""Shared visitor framework, rule registry, and pragma handling.
+
+A *rule* is an :class:`ast.NodeVisitor` subclass with a stable ``id``
+(``SLK001`` ...), registered via the :func:`register` decorator.  The
+runner parses each file once, hands the same tree to every enabled rule,
+and merges the findings.
+
+Suppression pragmas are read from comment tokens (via :mod:`tokenize`,
+so strings that merely *contain* the pragma text are ignored):
+
+* a trailing ``# slackerlint: disable=SLK001[,SLK002]`` suppresses those
+  rules on that line only;
+* a standalone comment line with the same syntax suppresses the rules
+  for the whole file.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Type
+
+from .config import LintConfig
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "ImportTracker",
+    "Rule",
+    "register",
+    "all_rules",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+]
+
+#: ``# slackerlint: disable=SLK001,SLK002`` (rule list is comma-separated).
+_PRAGMA_RE = re.compile(r"#\s*slackerlint:\s*disable=([A-Z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint violation, pointing at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Pragmas:
+    """Suppressions extracted from a file's comments."""
+
+    file_disabled: set[str] = field(default_factory=set)
+    line_disabled: dict[int, set[str]] = field(default_factory=dict)
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.file_disabled:
+            return True
+        return rule_id in self.line_disabled.get(line, ())
+
+
+def parse_pragmas(source: str) -> Pragmas:
+    """Extract slackerlint pragmas from ``source`` comment tokens."""
+    pragmas = Pragmas()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return pragmas
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+        line_no = tok.start[0]
+        before = tok.line[: tok.start[1]]
+        if before.strip() == "":
+            # Standalone comment line: file-wide suppression.
+            pragmas.file_disabled.update(rules)
+        else:
+            pragmas.line_disabled.setdefault(line_no, set()).update(rules)
+    return pragmas
+
+
+class ImportTracker:
+    """Map local names to the dotted names they import.
+
+    >>> tree = ast.parse("import time as t\\nfrom random import Random")
+    >>> tracker = ImportTracker.from_tree(tree)
+    >>> tracker.resolve_name("t")
+    'time'
+    >>> tracker.resolve_name("Random")
+    'random.Random'
+    """
+
+    def __init__(self) -> None:
+        self._names: dict[str, str] = {}
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportTracker":
+        tracker = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        tracker._names[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".")[0]
+                        tracker._names[top] = top
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    tracker._names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        return tracker
+
+    def resolve_name(self, name: str) -> Optional[str]:
+        return self._names.get(name)
+
+    def qualname(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of a call target, resolved through imports.
+
+        ``t.time`` with ``import time as t`` resolves to ``time.time``;
+        unresolvable expressions (calls, subscripts, ...) return None.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.resolve_name(node.id) or node.id
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need to know about the file being linted."""
+
+    path: str
+    rel_path: str
+    source: str
+    tree: ast.AST
+    config: LintConfig
+    imports: ImportTracker
+
+
+#: Global registry of rule classes, keyed by rule id.
+_REGISTRY: dict[str, Type["Rule"]] = {}
+
+
+def register(rule_cls: Type["Rule"]) -> Type["Rule"]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.id:
+        raise ValueError(f"{rule_cls.__name__} has no id")
+    if rule_cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, Type["Rule"]]:
+    """Registered rules, keyed by id (importing ``repro.lint`` populates it)."""
+    return dict(_REGISTRY)
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for lint rules: a visitor that accumulates findings."""
+
+    #: Stable rule identifier, e.g. ``SLK001``.
+    id: str = ""
+    #: One-line human summary (shown by ``--list-rules`` and the docs).
+    summary: str = ""
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def applies_to(self, rel_path: str) -> bool:
+        """Whether this rule runs on ``rel_path`` at all (default: yes)."""
+        return True
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=self.id,
+                message=message,
+            )
+        )
+
+    def run(self) -> list[Finding]:
+        self.visit(self.ctx.tree)
+        return self.findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rel_path: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+) -> list[Finding]:
+    """Lint python ``source`` text; the workhorse behind :func:`lint_file`."""
+    config = config or LintConfig()
+    rel = rel_path if rel_path is not None else path
+    rel = rel.replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 0,
+                col=(exc.offset or 0),
+                rule="E000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    pragmas = parse_pragmas(source)
+    ctx = FileContext(
+        path=path,
+        rel_path=rel,
+        source=source,
+        tree=tree,
+        config=config,
+        imports=ImportTracker.from_tree(tree),
+    )
+    findings: list[Finding] = []
+    for rule_id, rule_cls in sorted(_REGISTRY.items()):
+        if rule_id in config.disable or rule_id in pragmas.file_disabled:
+            continue
+        rule = rule_cls(ctx)
+        if not rule.applies_to(rel):
+            continue
+        for finding in rule.run():
+            if not pragmas.suppresses(finding.rule, finding.line):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_file(
+    path: str | Path,
+    config: Optional[LintConfig] = None,
+    root: Optional[Path] = None,
+) -> list[Finding]:
+    """Lint one file on disk."""
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=0,
+                col=0,
+                rule="E001",
+                message=f"cannot read file: {exc}",
+            )
+        ]
+    rel = _relative_to_root(path, root)
+    return lint_source(source, path=str(path), rel_path=rel, config=config)
+
+
+def _relative_to_root(path: Path, root: Optional[Path]) -> str:
+    resolved = path.resolve()
+    candidates = [root] if root is not None else []
+    candidates.append(Path.cwd())
+    for base in candidates:
+        try:
+            return resolved.relative_to(Path(base).resolve()).as_posix()
+        except ValueError:
+            continue
+    return path.as_posix()
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (files listed directly always pass)."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            yield from sorted(
+                p for p in entry.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        else:
+            yield entry
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    config: Optional[LintConfig] = None,
+    root: Optional[Path] = None,
+) -> list[Finding]:
+    """Lint every python file under ``paths`` and merge the findings."""
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, config=config, root=root))
+    return sorted(findings)

@@ -1,0 +1,401 @@
+"""The SLK rule set: determinism and units discipline for the sim stack.
+
+Each rule is a small :class:`~repro.lint.framework.Rule` visitor.  The
+ids are stable and documented in ``docs/LINT.md``; add new rules at the
+end and never reuse an id.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .framework import Rule, register
+
+__all__ = [
+    "WallClockRule",
+    "GlobalRandomRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+    "SwallowedExceptionRule",
+    "RawByteLiteralRule",
+    "WallClockCallbackRule",
+]
+
+#: Call targets that read the wall clock (dotted names after import
+#: resolution).  ``datetime.datetime.now`` covers ``import datetime``;
+#: ``datetime.now`` covers ``from datetime import datetime``.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.clock_gettime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+#: Module-level ``random`` functions that mutate the hidden global RNG.
+GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "seed",
+        "random",
+        "randint",
+        "randrange",
+        "getrandbits",
+        "randbytes",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+    }
+)
+
+
+def _wall_clock_target(qualname: Optional[str]) -> bool:
+    return qualname is not None and qualname in WALL_CLOCK_CALLS
+
+
+@register
+class WallClockRule(Rule):
+    """SLK001: no wall-clock reads inside simulation code.
+
+    Simulated components must take time from ``env.now``; a wall-clock
+    read couples results to host speed and destroys run-to-run
+    determinism.  Paths in ``wall_clock_allow`` (default ``scripts/``)
+    are exempt; anything else needs a line pragma with a justification.
+    """
+
+    id = "SLK001"
+    summary = "wall-clock call (time.time, datetime.now, ...) in simulation code"
+
+    def applies_to(self, rel_path: str) -> bool:
+        return not any(
+            rel_path.startswith(prefix) or f"/{prefix}" in f"/{rel_path}"
+            for prefix in self.ctx.config.wall_clock_allow
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qualname = self.ctx.imports.qualname(node.func)
+        if _wall_clock_target(qualname):
+            self.report(
+                node,
+                f"wall-clock call `{qualname}` — use the simulation clock "
+                "(env.now); wall time breaks determinism",
+            )
+        self.generic_visit(node)
+
+
+@register
+class GlobalRandomRule(Rule):
+    """SLK002: no global-RNG use and no constant-seed ``Random`` defaults.
+
+    Module-level ``random.*`` draws share one hidden global stream, so
+    any new caller perturbs every existing one.  ``random.Random()``
+    seeds from the OS (non-reproducible) and ``random.Random(<literal>)``
+    hard-codes a seed — two components defaulting to the same literal
+    silently produce *correlated* noise.  RNGs must be passed in or
+    derived per purpose (``server.rng(purpose)`` /
+    ``simulation.rng.default_rng(purpose)``).
+    """
+
+    id = "SLK002"
+    summary = "global `random` module use or unseeded/constant-seed Random()"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qualname = self.ctx.imports.qualname(node.func)
+        if qualname is not None:
+            if (
+                qualname.startswith("random.")
+                and qualname.split(".", 1)[1] in GLOBAL_RANDOM_FUNCS
+            ):
+                self.report(
+                    node,
+                    f"global RNG call `{qualname}` — thread a seeded "
+                    "random.Random through instead (server.rng(purpose))",
+                )
+            elif qualname in ("random.Random", "random.SystemRandom"):
+                self._check_random_ctor(node, qualname)
+        self.generic_visit(node)
+
+    def _check_random_ctor(self, node: ast.Call, qualname: str) -> None:
+        if not node.args and not node.keywords:
+            self.report(
+                node,
+                f"`{qualname}()` without a seed is non-reproducible — "
+                "derive the RNG from the experiment seed "
+                "(simulation.rng.default_rng(purpose))",
+            )
+            return
+        if node.args and isinstance(node.args[0], ast.Constant):
+            self.report(
+                node,
+                f"`{qualname}({node.args[0].value!r})` hard-codes a seed; "
+                "components sharing a literal seed emit correlated streams "
+                "— use default_rng(purpose) / server.rng(purpose)",
+            )
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    """Expression statically known to produce a float."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "float"
+    if isinstance(node, ast.BinOp):
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """SLK003: no ``==`` / ``!=`` against float quantities.
+
+    Simulated latencies and rates accumulate rounding; exact equality
+    flips on harmless reorderings and makes figures irreproducible.
+    Compare with a tolerance (``math.isclose``) or restructure.
+    """
+
+    id = "SLK003"
+    summary = "float equality comparison (== / != with a float operand)"
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                _is_floatish(left) or _is_floatish(right)
+            ):
+                self.report(
+                    node,
+                    "float equality comparison — use math.isclose or an "
+                    "explicit tolerance",
+                )
+                break
+        self.generic_visit(node)
+
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set"})
+
+
+@register
+class MutableDefaultRule(Rule):
+    """SLK004: no mutable default arguments.
+
+    A mutable default is shared across calls, so state leaks between
+    independently-constructed components — e.g. two experiments sharing
+    one latency buffer.
+    """
+
+    id = "SLK004"
+    summary = "mutable default argument ([], {}, set(), list(), dict())"
+
+    def _check_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    ) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+            ):
+                self.report(default, "mutable default argument — default to None")
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+            ):
+                self.report(default, "mutable default argument — default to None")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+def _body_is_only_pass(body: list[ast.stmt]) -> bool:
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant))
+        for stmt in body
+    )
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """SLK005: no bare ``except:`` and no silently-swallowed ``Exception``.
+
+    The simulation kernel deliberately crashes on unhandled event
+    failures ("errors should never pass silently"); a swallowing handler
+    upstream converts a correctness bug into a quietly-wrong figure.
+    Narrow handlers (``except ValueError: pass``) are fine.
+    """
+
+    id = "SLK005"
+    summary = "bare except / `except Exception: pass` swallowing"
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare `except:` — catch a specific exception (a bare except "
+                "hides kernel failures, including KeyboardInterrupt)",
+            )
+        else:
+            qualname = self.ctx.imports.qualname(node.type)
+            if qualname in ("Exception", "BaseException") and _body_is_only_pass(
+                node.body
+            ):
+                self.report(
+                    node,
+                    f"`except {qualname}: pass` swallows simulation errors — "
+                    "handle or re-raise",
+                )
+        self.generic_visit(node)
+
+
+def _const_int(node: ast.expr) -> Optional[int]:
+    if isinstance(node, ast.Constant) and type(node.value) is int:
+        return node.value
+    return None
+
+
+@register
+class RawByteLiteralRule(Rule):
+    """SLK006: raw byte-size literals must go through ``resources/units.py``.
+
+    ``64 * 1024`` vs ``64 * 1000`` is exactly the MB-vs-MiB ambiguity the
+    units module exists to remove; a literal ``1024`` in migration/DB
+    code re-opens it.  Flags integer literals that are non-zero
+    multiples of 1024 and constant ``1 << 20``-style shifts.
+    """
+
+    id = "SLK006"
+    summary = "raw byte-size literal (1024 multiples) instead of units helpers"
+
+    def applies_to(self, rel_path: str) -> bool:
+        scope = self.ctx.config.units_scope
+        if not scope:
+            return True
+        return any(
+            rel_path.startswith(prefix) or f"/{prefix}" in f"/{rel_path}"
+            for prefix in scope
+        )
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        value = node.value
+        # slackerlint: disable=SLK006 -- the 1024s here are the detector itself
+        if type(value) is int and value >= 1024 and value % 1024 == 0:
+            self.report(
+                node,
+                f"raw byte literal {value} — express it via resources.units "
+                "(KB/MB/GB) so units stay auditable",
+            )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.LShift):
+            left, right = _const_int(node.left), _const_int(node.right)
+            if left is not None and right is not None and (left << right) >= 1024:
+                self.report(
+                    node,
+                    f"raw byte literal {left} << {right} — use resources.units "
+                    "(KB/MB/GB) helpers",
+                )
+                return  # don't also visit the operand constants
+        self.generic_visit(node)
+
+
+@register
+class WallClockCallbackRule(Rule):
+    """SLK007: simulator event callbacks must not read the wall clock.
+
+    A callback registered on an :class:`~repro.simulation.core.Event`
+    runs at event-processing time; if it captures wall time the recorded
+    timestamps depend on host load rather than ``env.now``, which is how
+    subtle non-determinism sneaks into traces.
+    """
+
+    id = "SLK007"
+    summary = "event callback registered on the simulator reads the wall clock"
+
+    def run(self):  # type: ignore[override]
+        # Pass 1: local function defs / lambdas that touch the wall clock.
+        tainted_names: set[str] = set()
+        tainted_lambdas: set[int] = set()
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                if self._reads_wall_clock(node):
+                    if isinstance(node, ast.Lambda):
+                        tainted_lambdas.add(id(node))
+                    else:
+                        tainted_names.add(node.name)
+        # Pass 2: registration sites.
+        for node in ast.walk(self.ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_callback_registration(node):
+                continue
+            for arg in node.args:
+                if (isinstance(arg, ast.Lambda) and id(arg) in tainted_lambdas) or (
+                    isinstance(arg, ast.Name) and arg.id in tainted_names
+                ):
+                    self.report(
+                        node,
+                        "event callback reads the wall clock — capture env.now "
+                        "at registration or inside the callback instead",
+                    )
+                    break
+        return self.findings
+
+    def _reads_wall_clock(self, func: ast.AST) -> bool:
+        body = func.body if isinstance(func.body, list) else [func.body]
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call) and _wall_clock_target(
+                    self.ctx.imports.qualname(node.func)
+                ):
+                    return True
+        return False
+
+    def _is_callback_registration(self, node: ast.Call) -> bool:
+        """True for ``<expr>.callbacks.append(...)`` registration calls."""
+        func = node.func
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "append"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "callbacks"
+        )

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
+from ..resources.units import MB
 from .protocol import ProtocolError, decode_message, decode_varint, encode_message
 
 __all__ = ["MessageStreamDecoder", "frame_messages"]
@@ -26,7 +27,7 @@ class MessageStreamDecoder:
     """Incremental decoder for a stream of wire-format messages."""
 
     #: Refuse to buffer more than this (malformed-stream protection).
-    MAX_BUFFER = 16 * 1024 * 1024
+    MAX_BUFFER = 16 * MB
 
     def __init__(self):
         self._buffer = bytearray()

@@ -27,6 +27,7 @@ from typing import Callable, Generator, Optional
 from ..db.backup import DEFAULT_CHUNK_BYTES, HotBackup
 from ..db.engine import DatabaseEngine, FreezeMode
 from ..resources.server import Server
+from ..resources.units import KB
 from ..simulation import Container, Environment, Store
 from .throttle import Throttle
 
@@ -115,7 +116,7 @@ class LiveMigration:
     """One live migration of a tenant engine to a target server."""
 
     #: Stop delta rounds once the pending binlog is this small.
-    DEFAULT_DELTA_THRESHOLD = 64 * 1024
+    DEFAULT_DELTA_THRESHOLD = 64 * KB
 
     def __init__(
         self,

@@ -22,6 +22,7 @@ from ..db.backup import DEFAULT_CHUNK_BYTES
 from ..db.engine import DatabaseEngine
 from ..db.shared import SharedProcessEngine, TableLevelBackup
 from ..resources.server import Server
+from ..resources.units import KB, MB
 from ..simulation import Environment
 from .live import DeltaRound, MigrationPhase
 from .throttle import Throttle
@@ -63,7 +64,7 @@ class SharedMigrationResult:
 class SharedTenantMigration:
     """Snapshot → delta → handover for one tenant of a shared daemon."""
 
-    DEFAULT_DELTA_THRESHOLD = 64 * 1024
+    DEFAULT_DELTA_THRESHOLD = 64 * KB
 
     def __init__(
         self,
@@ -75,7 +76,7 @@ class SharedTenantMigration:
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         delta_threshold: int = DEFAULT_DELTA_THRESHOLD,
         max_delta_rounds: int = 8,
-        target_buffer_bytes: int = 128 * 1024 * 1024,
+        target_buffer_bytes: int = 128 * MB,
         on_handover: Optional[Callable[[DatabaseEngine], None]] = None,
     ):
         if delta_threshold < 0:

@@ -13,7 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Generator, Optional
 
-from ..simulation import Environment, Resource
+from ..simulation import Environment, Resource, default_rng
 
 __all__ = ["CpuParams", "CpuStats", "Cpu"]
 
@@ -58,7 +58,9 @@ class Cpu:
     ):
         self.env = env
         self.params = params or CpuParams()
-        self.rng = rng or random.Random(0)
+        # Derive the fallback seed from the component name so two
+        # resources built without explicit RNGs stay decorrelated.
+        self.rng = rng if rng is not None else default_rng(name)
         self.name = name
         self.stats = CpuStats()
         self._cores = Resource(env, capacity=self.params.cores)

@@ -30,7 +30,7 @@ import random
 from dataclasses import dataclass
 from typing import Generator, Optional
 
-from ..simulation import Environment, Resource
+from ..simulation import Environment, Resource, default_rng
 from .units import MB
 
 __all__ = ["DiskParams", "DiskStats", "Disk"]
@@ -106,7 +106,9 @@ class Disk:
     ):
         self.env = env
         self.params = params or DiskParams()
-        self.rng = rng or random.Random(0)
+        # Derive the fallback seed from the component name so two
+        # resources built without explicit RNGs stay decorrelated.
+        self.rng = rng if rng is not None else default_rng(name)
         self.name = name
         self.stats = DiskStats()
         self._arm = Resource(env, capacity=1)

@@ -12,6 +12,10 @@ ways so experiment code can speak the paper's units.
 
 from __future__ import annotations
 
+# This module *defines* the byte-unit constants, so the raw 1024
+# literals below are the single sanctioned occurrence in the package.
+# slackerlint: disable=SLK006
+
 __all__ = [
     "KB",
     "MB",

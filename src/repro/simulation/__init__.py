@@ -19,7 +19,7 @@ from .core import (
     Timeout,
 )
 from .resources import Container, PriorityResource, Request, Resource, Store
-from .rng import RandomStreams, derive_seed
+from .rng import RandomStreams, default_rng, derive_seed
 from .trace import Series, Trace, sliding_window_average
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "PriorityResource",
     "Process",
     "RandomStreams",
+    "default_rng",
     "Request",
     "Resource",
     "Series",

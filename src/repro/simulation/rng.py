@@ -11,7 +11,7 @@ from __future__ import annotations
 import hashlib
 import random
 
-__all__ = ["RandomStreams", "derive_seed"]
+__all__ = ["RandomStreams", "derive_seed", "default_rng"]
 
 
 def derive_seed(root_seed: int, name: str) -> int:
@@ -22,6 +22,24 @@ def derive_seed(root_seed: int, name: str) -> int:
     """
     digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def default_rng(purpose: str, seed: int = 0) -> random.Random:
+    """A per-purpose deterministic RNG for components built without one.
+
+    Components that accept an optional ``rng`` used to fall back to
+    ``random.Random(0)`` — so a CPU and a disk constructed side by side
+    drew *identical* noise streams (correlated service jitter skews
+    queueing behaviour).  Deriving the fallback seed from a purpose
+    string keeps the default deterministic while decorrelating the
+    components, mirroring ``Server.rng(purpose)``.
+
+    >>> default_rng("cpu").random() != default_rng("disk").random()
+    True
+    >>> default_rng("cpu").random() == default_rng("cpu").random()
+    True
+    """
+    return random.Random(derive_seed(seed, f"default:{purpose}"))
 
 
 class RandomStreams:

@@ -33,7 +33,7 @@ ZIPFIAN_CONSTANT = 0.99
 #: Knuth-style 64-bit FNV prime/offset used by YCSB's key scrambling.
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
-_MASK = (1 << 64) - 1
+_MASK = (1 << 64) - 1  # slackerlint: disable=SLK006 -- 64-bit hash mask, not a byte size
 
 
 def fnv1a_64(value: int) -> int:

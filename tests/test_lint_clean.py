@@ -1,0 +1,29 @@
+"""Tier-1 gate: the package must stay slackerlint-clean forever.
+
+If this test fails, either fix the finding or suppress it with a
+justified ``# slackerlint: disable=RULE`` pragma — see docs/LINT.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import lint_paths, load_pyproject_config
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_src_repro_is_lint_clean():
+    config = load_pyproject_config(REPO_ROOT / "pyproject.toml")
+    findings = lint_paths([SRC], config=config, root=REPO_ROOT)
+    rendered = "\n".join(f.render() for f in findings)
+    assert not findings, f"slackerlint findings in src/repro:\n{rendered}"
+
+
+def test_linter_still_detects_a_seeded_positive(tmp_path):
+    """Guard against the gate going green because the linter went blind."""
+    bad = tmp_path / "positive.py"
+    bad.write_text("import time\nstarted = time.time()\n")
+    findings = lint_paths([bad], root=tmp_path)
+    assert any(f.rule == "SLK001" for f in findings)

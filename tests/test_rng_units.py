@@ -13,7 +13,47 @@ from repro.resources.units import (
     to_mb_per_sec,
     to_millis,
 )
-from repro.simulation import RandomStreams, derive_seed
+from repro.simulation import Environment, RandomStreams, default_rng, derive_seed
+
+
+class TestDefaultRng:
+    """Fallback RNGs must be deterministic but decorrelated per purpose.
+
+    Regression guard for the old ``rng or random.Random(0)`` defaults:
+    a CPU and a disk constructed without explicit RNGs used to share
+    seed 0 and therefore draw *identical* noise streams.
+    """
+
+    def test_deterministic_per_purpose(self):
+        a = [default_rng("cpu").random() for _ in range(5)]
+        b = [default_rng("cpu").random() for _ in range(5)]
+        assert a == b
+
+    def test_purposes_are_decorrelated(self):
+        a = [default_rng("cpu").random() for _ in range(10)]
+        b = [default_rng("disk").random() for _ in range(10)]
+        assert a != b
+
+    def test_cpu_and_disk_defaults_never_share_a_stream(self):
+        from repro.resources.cpu import Cpu
+        from repro.resources.disk import Disk
+
+        env = Environment()
+        cpu = Cpu(env)
+        disk = Disk(env)
+        cpu_draws = [cpu.rng.random() for _ in range(20)]
+        disk_draws = [disk.rng.random() for _ in range(20)]
+        assert cpu_draws != disk_draws
+
+    def test_bootstrap_helpers_use_distinct_default_streams(self):
+        from repro.analysis.compare import bootstrap_difference, bootstrap_mean_ci
+
+        sample = [float(i % 7) for i in range(40)]
+        ci = bootstrap_mean_ci(sample)
+        # Deterministic across calls (default RNG is re-derived each time).
+        assert bootstrap_mean_ci(sample) == ci
+        diff = bootstrap_difference(sample, sample)
+        assert bootstrap_difference(sample, sample) == diff
 
 
 class TestRandomStreams:
