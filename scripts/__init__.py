@@ -1,0 +1,1 @@
+"""Operational scripts (also importable, e.g. by the benchmarks)."""

@@ -1,0 +1,176 @@
+"""Kernel + sweep benchmark: events/sec and serial-vs-parallel wall time.
+
+Measures two things and appends them to a ``BENCH_kernel.json``
+trajectory (one record per invocation, so successive commits build a
+perf history):
+
+1. **Kernel microbenchmark** — raw event-loop throughput: N generator
+   processes each yielding a chain of timeouts, reported as events/sec.
+2. **Reference sweep** — the 4-point Figure 5 sweep (baseline + 4/8/12
+   MB/s) run serially and with ``--jobs`` workers, reported as wall
+   seconds each plus the speedup.  The cache is disabled for both runs
+   so the comparison is honest, and the two results are checked for
+   bit-identical latency series before timings are recorded.
+
+Usage::
+
+    python scripts/bench_kernel.py [--scale 0.5] [--jobs 4]
+                                   [--events 200000] [--out BENCH_kernel.json]
+                                   [--skip-sweep]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+
+from repro.experiments import fig5_throttle_sweep
+from repro.simulation.core import Environment
+
+
+def _elapsed() -> float:
+    """Wall-clock seconds for timing real work (never simulated time).
+
+    Scripts are SLK001-exempt by configuration; the pragma'd helper
+    keeps the wall-clock reads single and auditable regardless.
+    """
+    return time.perf_counter()  # slackerlint: disable=SLK001
+
+
+def _utc_stamp() -> str:
+    return time.strftime(  # slackerlint: disable=SLK001
+        "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+    )
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def _pump(env: Environment, count: int):
+    timeout = env.timeout
+    for _ in range(count):
+        yield timeout(1.0)
+
+
+def bench_kernel(total_events: int = 200_000, processes: int = 4) -> dict:
+    """Time a pure timeout-chain workload through the event loop."""
+    env = Environment()
+    per_process = total_events // processes
+    for _ in range(processes):
+        env.process(_pump(env, per_process))
+    started = _elapsed()
+    env.run()
+    seconds = _elapsed() - started
+    # _eid is the scheduling tiebreaker counter (timeouts + process
+    # events); its next value is exactly how many events were scheduled.
+    events = next(env._eid)
+    return {
+        "processes": processes,
+        "events": events,
+        "seconds": round(seconds, 4),
+        "events_per_sec": round(events / seconds),
+    }
+
+
+def bench_sweep(scale: float, jobs: int) -> dict:
+    """Time the 4-point Figure 5 sweep serially and with ``jobs`` workers."""
+    started = _elapsed()
+    serial = fig5_throttle_sweep.run(scale=scale, jobs=1, cache=None)
+    serial_seconds = _elapsed() - started
+
+    started = _elapsed()
+    parallel = fig5_throttle_sweep.run(scale=scale, jobs=jobs, cache=None)
+    parallel_seconds = _elapsed() - started
+
+    for rate, outcome in serial.outcomes.items():
+        mine, theirs = outcome, parallel.outcomes[rate]
+        if [tuple(p) for p in mine.tenants[0].latency] != [
+            tuple(p) for p in theirs.tenants[0].latency
+        ]:
+            raise AssertionError(
+                f"serial and jobs={jobs} sweeps diverged at rate {rate}"
+            )
+    return {
+        "scale": scale,
+        "points": len(serial.outcomes),
+        "jobs": jobs,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 2),
+    }
+
+
+def append_record(path: Path, record: dict) -> dict:
+    """Append ``record`` to the trajectory file at ``path``."""
+    if path.is_file():
+        try:
+            trajectory = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            trajectory = {"schema": 1, "runs": []}
+    else:
+        trajectory = {"schema": 1, "runs": []}
+    trajectory.setdefault("runs", []).append(record)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
+    return trajectory
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--events", type=int, default=200_000,
+                        help="timeout events for the kernel microbench")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="database scale for the reference sweep")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel sweep run")
+    parser.add_argument("--out", default="BENCH_kernel.json",
+                        help="trajectory file to append to")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="only run the kernel microbench")
+    parser.add_argument("--note", default=None,
+                        help="free-form label stored with the record")
+    args = parser.parse_args()
+
+    kernel = bench_kernel(total_events=args.events)
+    print(
+        f"kernel: {kernel['events']} events in {kernel['seconds']:.3f} s "
+        f"-> {kernel['events_per_sec']:,} events/sec"
+    )
+
+    record = {
+        "timestamp": _utc_stamp(),
+        "git_rev": _git_rev(),
+        # Speedup numbers are meaningless without this: on a 1-core
+        # box jobs=4 *cannot* beat serial wall-clock.
+        "cpu_count": os.cpu_count(),
+        "kernel": kernel,
+    }
+    if args.note:
+        record["note"] = args.note
+    if not args.skip_sweep:
+        sweep = bench_sweep(scale=args.scale, jobs=args.jobs)
+        record["sweep"] = sweep
+        print(
+            f"sweep:  {sweep['points']} points at scale {sweep['scale']:g}: "
+            f"serial {sweep['serial_seconds']:.2f} s, "
+            f"jobs={sweep['jobs']} {sweep['parallel_seconds']:.2f} s "
+            f"-> {sweep['speedup']:.2f}x (bit-identical results)"
+        )
+
+    append_record(Path(args.out), record)
+    print(f"appended to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,7 @@ def probe(seq_bw, chunk_kb, lam, seek_ms=5.0, db=GB, buf=256*MB):
     return rows
 
 t0=time.time()
-for seq_bw, chunk_kb, lam in itertools.product((24, 32), (512, 1024, 2048), (7, 9, 11)):
+for seq_bw, chunk_kb, lam in itertools.product((24, 32), (512, 1024, 2048), (7, 9, 11)):  # slackerlint: disable=SLK006 -- chunk sizes counted in KB, scaled via KB in probe()
     rows = probe(seq_bw, chunk_kb, lam)
     desc = " | ".join(f"{n}:{m:5.0f}±{s:4.0f}" for n, m, s, d in rows)
     durs = "/".join(f"{d:.0f}" for _, _, _, d in rows)

@@ -26,9 +26,10 @@ from typing import Optional, Sequence
 
 from ..analysis.report import Table, format_ms, format_rate
 from ..core.config import EVALUATION, ExperimentConfig
+from ..parallel import ResultCache, SweepPoint, SweepRunner
 from ..resources.units import MB, mb_per_sec
 from .common import scaled_config
-from .harness import ExperimentOutcome, MigrationSpec, run_single_tenant
+from .harness import ExperimentOutcome, MigrationSpec
 
 __all__ = ["FixedPoint", "SlackerPoint", "Fig11Result", "run", "main"]
 
@@ -172,6 +173,34 @@ class Fig11Result:
         return table
 
 
+def sweep_points(
+    cfg: ExperimentConfig,
+    fixed_rates_mb: Sequence[float] = DEFAULT_FIXED_RATES,
+    setpoints: Sequence[float] = DEFAULT_SETPOINTS,
+    warmup: float = 20.0,
+) -> list[SweepPoint]:
+    """Both Figure 11 curves as one flat list of independent points."""
+    points = [
+        SweepPoint(
+            label=("fixed", rate),
+            config=cfg,
+            spec=MigrationSpec.fixed(mb_per_sec(rate)),
+            kwargs={"warmup": warmup},
+        )
+        for rate in fixed_rates_mb
+    ]
+    points.extend(
+        SweepPoint(
+            label=("slacker", setpoint),
+            config=cfg,
+            spec=MigrationSpec.dynamic(setpoint),
+            kwargs={"warmup": warmup},
+        )
+        for setpoint in setpoints
+    )
+    return points
+
+
 def run(
     scale: float = 1.0,
     config: Optional[ExperimentConfig] = None,
@@ -179,38 +208,48 @@ def run(
     fixed_rates_mb: Sequence[float] = DEFAULT_FIXED_RATES,
     setpoints: Sequence[float] = DEFAULT_SETPOINTS,
     warmup: float = 20.0,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Fig11Result:
-    """Run both sweeps of Figure 11."""
+    """Run both sweeps of Figure 11.
+
+    This is the repo's biggest sweep (16 full simulations at the
+    defaults), so it benefits most from ``jobs > 1``; results stay
+    bit-identical to a serial run.
+    """
     cfg = scaled_config(config or EVALUATION, scale, seed)
-    fixed: list[FixedPoint] = []
-    for rate in fixed_rates_mb:
-        outcome = run_single_tenant(
-            cfg, MigrationSpec.fixed(mb_per_sec(rate)), warmup=warmup
+    runner = SweepRunner(jobs=jobs, cache=cache)
+    outcomes = runner.run_labelled(
+        sweep_points(
+            cfg,
+            fixed_rates_mb=fixed_rates_mb,
+            setpoints=setpoints,
+            warmup=warmup,
         )
-        fixed.append(
-            FixedPoint(
-                rate_mb=rate,
-                achieved_rate_mb=outcome.average_migration_rate / MB,
-                mean_latency=outcome.mean_latency,
-                latency_stddev=outcome.latency_stddev,
-                duration=outcome.duration,
-            )
+    )
+    fixed = [
+        FixedPoint(
+            rate_mb=rate,
+            achieved_rate_mb=outcome.average_migration_rate / MB,
+            mean_latency=outcome.mean_latency,
+            latency_stddev=outcome.latency_stddev,
+            duration=outcome.duration,
         )
-    slacker: list[SlackerPoint] = []
-    for setpoint in setpoints:
-        outcome = run_single_tenant(
-            cfg, MigrationSpec.dynamic(setpoint), warmup=warmup
+        for rate in fixed_rates_mb
+        for outcome in (outcomes[("fixed", rate)],)
+    ]
+    slacker = [
+        SlackerPoint(
+            setpoint=setpoint,
+            average_rate_mb=outcome.average_migration_rate / MB,
+            mean_latency=outcome.mean_latency,
+            latency_stddev=outcome.latency_stddev,
+            steady_latency=steady_state_latency(outcome, setpoint),
+            duration=outcome.duration,
         )
-        slacker.append(
-            SlackerPoint(
-                setpoint=setpoint,
-                average_rate_mb=outcome.average_migration_rate / MB,
-                mean_latency=outcome.mean_latency,
-                latency_stddev=outcome.latency_stddev,
-                steady_latency=steady_state_latency(outcome, setpoint),
-                duration=outcome.duration,
-            )
-        )
+        for setpoint in setpoints
+        for outcome in (outcomes[("slacker", setpoint)],)
+    ]
     return Fig11Result(fixed=fixed, slacker=slacker)
 
 

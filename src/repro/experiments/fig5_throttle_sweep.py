@@ -18,9 +18,10 @@ from typing import Optional
 
 from ..analysis.report import Table, format_ms, format_seconds
 from ..core.config import CASE_STUDY, ExperimentConfig
+from ..parallel import ResultCache, SweepPoint, SweepRunner
 from ..resources.units import mb_per_sec
 from .common import scaled_config
-from .harness import ExperimentOutcome, MigrationSpec, run_single_tenant
+from .harness import ExperimentOutcome, MigrationSpec
 
 __all__ = ["Fig5Result", "PAPER_ANCHORS", "run", "main"]
 
@@ -33,9 +34,14 @@ PAPER_DURATIONS = {0: 180.0, 4: 281.0, 8: 164.0, 12: 130.0}
 
 @dataclass
 class Fig5Result:
-    """Measured outcomes, keyed by throttle rate in MB/s (0 = baseline)."""
+    """Measured outcomes, keyed by throttle rate in MB/s (0 = baseline).
 
-    outcomes: dict[int, ExperimentOutcome]
+    Outcomes are :class:`~repro.parallel.record.PointRecord` instances
+    (compact sweep records); :class:`ExperimentOutcome` duck-types the
+    same query API, so both work here.
+    """
+
+    outcomes: dict[int, "ExperimentOutcome"]
 
     def mean_ms(self, rate: int) -> float:
         return self.outcomes[rate].mean_latency * 1000
@@ -65,27 +71,55 @@ class Fig5Result:
         return table
 
 
+def sweep_points(
+    cfg: ExperimentConfig,
+    scale: float = 1.0,
+    rates_mb: tuple[int, ...] = (4, 8, 12),
+    warmup: float = 20.0,
+) -> list[SweepPoint]:
+    """The Figure 5 sweep as independent points: baseline + each rate."""
+    points = [
+        SweepPoint(
+            label=0,
+            config=cfg,
+            spec=MigrationSpec.none(),
+            kwargs={
+                "warmup": warmup,
+                "baseline_duration": 180.0 * max(scale, 0.25),
+            },
+        )
+    ]
+    for rate in rates_mb:
+        points.append(
+            SweepPoint(
+                label=rate,
+                config=cfg,
+                spec=MigrationSpec.fixed(mb_per_sec(rate)),
+                kwargs={"warmup": warmup},
+            )
+        )
+    return points
+
+
 def run(
     scale: float = 1.0,
     config: Optional[ExperimentConfig] = None,
     seed: Optional[int] = None,
     rates_mb: tuple[int, ...] = (4, 8, 12),
     warmup: float = 20.0,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Fig5Result:
-    """Run the Figure 5 sweep; ``scale`` shrinks the database for speed."""
+    """Run the Figure 5 sweep; ``scale`` shrinks the database for speed.
+
+    ``jobs`` fans the independent points across worker processes
+    (results are bit-identical to ``jobs=1``); ``cache`` memoizes
+    points on disk.
+    """
     cfg = scaled_config(config or CASE_STUDY, scale, seed)
-    outcomes: dict[int, ExperimentOutcome] = {}
-    outcomes[0] = run_single_tenant(
-        cfg,
-        MigrationSpec.none(),
-        warmup=warmup,
-        baseline_duration=180.0 * max(scale, 0.25),
-    )
-    for rate in rates_mb:
-        outcomes[rate] = run_single_tenant(
-            cfg, MigrationSpec.fixed(mb_per_sec(rate)), warmup=warmup
-        )
-    return Fig5Result(outcomes=outcomes)
+    runner = SweepRunner(jobs=jobs, cache=cache)
+    points = sweep_points(cfg, scale=scale, rates_mb=rates_mb, warmup=warmup)
+    return Fig5Result(outcomes=runner.run_labelled(points))
 
 
 def main() -> None:  # pragma: no cover - CLI entry point

@@ -80,10 +80,20 @@ def run(
     config: Optional[ExperimentConfig] = None,
     seed: Optional[int] = None,
     fig5: Optional[Fig5Result] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> Fig7Result:
-    """Derive the tradeoff from (or re-run) the Figure 5 sweep."""
+    """Derive the tradeoff from (or re-run) the Figure 5 sweep.
+
+    ``jobs``/``cache`` are forwarded to the Figure 5 sweep runner; a
+    shared ``cache`` means fig5 and fig7 together simulate each point
+    exactly once.
+    """
     if fig5 is None:
-        fig5 = run_fig5(scale=scale, config=config or CASE_STUDY, seed=seed)
+        fig5 = run_fig5(
+            scale=scale, config=config or CASE_STUDY, seed=seed,
+            jobs=jobs, cache=cache,
+        )
     return Fig7Result(fig5=fig5)
 
 

@@ -47,6 +47,7 @@ __all__ = [
     "RateChange",
     "TenantOutcome",
     "ExperimentOutcome",
+    "PooledLatencyStats",
     "run_single_tenant",
     "run_multi_tenant",
 ]
@@ -117,32 +118,43 @@ class TenantOutcome:
         return self.latency.window_values(start, end)
 
 
-@dataclass
-class ExperimentOutcome:
-    """Everything a figure driver needs from one run."""
+class PooledLatencyStats:
+    """Pooled latency summaries over a measurement window, cached.
 
-    config: ExperimentConfig
-    spec: MigrationSpec
-    trace: Trace
-    tenants: list[TenantOutcome]
-    #: Measurement window [start, end): migration span, or the
-    #: configured duration for baseline runs.
-    window_start: float
-    window_end: float
-    migration: Optional[LiveMigrationResult | StopAndCopyResult] = None
-    #: Throttle-rate series recorded by the PID loop (dynamic runs).
-    throttle_series: Optional[Series] = None
-    controller_latency_series: Optional[Series] = None
-    extras: dict = field(default_factory=dict)
+    Mixed into :class:`ExperimentOutcome` and the parallel runner's
+    :class:`~repro.parallel.record.PointRecord`; the host class provides
+    ``tenants`` (objects with ``window_latencies(start, end)``),
+    ``window_start``, and ``window_end``.
 
-    # -- pooled measurement helpers ------------------------------------------
+    Figure drivers query ``mean_latency``, ``latency_stddev``, and a
+    percentile or two off the *same* outcome, and each used to rebuild
+    (and for percentiles, re-sort) the pooled list from the raw series —
+    O(n) or O(n log n) per query over hundreds of thousands of samples.
+    The pooled and sorted lists are computed once per outcome and
+    reused; outcomes are effectively immutable once built, so the cache
+    never needs invalidating.  Treat the returned lists as read-only.
+    """
 
     def pooled_latencies(self) -> list[float]:
-        """All tenants' latencies inside the measurement window, seconds."""
-        pooled: list[float] = []
-        for tenant in self.tenants:
-            pooled.extend(tenant.window_latencies(self.window_start, self.window_end))
-        return pooled
+        """All tenants' latencies inside the measurement window, seconds.
+
+        The list is cached on first use — do not mutate it.
+        """
+        cached = getattr(self, "_pooled_cache", None)
+        if cached is None:
+            pooled: list[float] = []
+            for tenant in self.tenants:
+                pooled.extend(
+                    tenant.window_latencies(self.window_start, self.window_end)
+                )
+            self._pooled_cache = cached = pooled
+        return cached
+
+    def _sorted_latencies(self) -> list[float]:
+        cached = getattr(self, "_sorted_cache", None)
+        if cached is None:
+            self._sorted_cache = cached = sorted(self.pooled_latencies())
+        return cached
 
     @property
     def mean_latency(self) -> float:
@@ -158,7 +170,7 @@ class ExperimentOutcome:
         return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
 
     def latency_percentile(self, pct: float) -> float:
-        values = sorted(self.pooled_latencies())
+        values = self._sorted_latencies()
         if not values:
             return math.nan
         rank = max(1, math.ceil(pct / 100.0 * len(values)))
@@ -167,6 +179,25 @@ class ExperimentOutcome:
     @property
     def duration(self) -> float:
         return self.window_end - self.window_start
+
+
+@dataclass
+class ExperimentOutcome(PooledLatencyStats):
+    """Everything a figure driver needs from one run."""
+
+    config: ExperimentConfig
+    spec: MigrationSpec
+    trace: Trace
+    tenants: list[TenantOutcome]
+    #: Measurement window [start, end): migration span, or the
+    #: configured duration for baseline runs.
+    window_start: float
+    window_end: float
+    migration: Optional[LiveMigrationResult | StopAndCopyResult] = None
+    #: Throttle-rate series recorded by the PID loop (dynamic runs).
+    throttle_series: Optional[Series] = None
+    controller_latency_series: Optional[Series] = None
+    extras: dict = field(default_factory=dict)
 
     @property
     def average_migration_rate(self) -> float:

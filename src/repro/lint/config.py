@@ -6,6 +6,7 @@
     disable = ["SLK004"]
     wall_clock_allow = ["scripts/"]
     units_scope = ["src/repro"]
+    worker_scope = ["repro/parallel/"]
 
 On Python 3.11+ the stdlib :mod:`tomllib` parses the file; on 3.10,
 where tomllib does not exist and this repo adds no third-party
@@ -39,6 +40,10 @@ class LintConfig:
     #: Path prefixes the raw-byte-literal rule (SLK006) is limited to;
     #: empty means "everywhere".
     units_scope: tuple[str, ...] = ()
+    #: Path prefixes holding code reachable from sweep-worker entry
+    #: points, where the shared-module-state rule (SLK008) applies;
+    #: empty disables the rule.
+    worker_scope: tuple[str, ...] = ("repro/parallel/",)
 
     def with_extra_disabled(self, rule_ids: tuple[str, ...]) -> "LintConfig":
         merged = tuple(dict.fromkeys(self.disable + rule_ids))
@@ -46,6 +51,7 @@ class LintConfig:
             disable=merged,
             wall_clock_allow=self.wall_clock_allow,
             units_scope=self.units_scope,
+            worker_scope=self.worker_scope,
         )
 
 
@@ -63,6 +69,7 @@ def _config_from_table(table: dict) -> LintConfig:
         disable=_str_tuple("disable", defaults.disable),
         wall_clock_allow=_str_tuple("wall_clock_allow", defaults.wall_clock_allow),
         units_scope=_str_tuple("units_scope", defaults.units_scope),
+        worker_scope=_str_tuple("worker_scope", defaults.worker_scope),
     )
 
 

@@ -20,6 +20,7 @@ __all__ = [
     "SwallowedExceptionRule",
     "RawByteLiteralRule",
     "WallClockCallbackRule",
+    "SharedModuleStateRule",
 ]
 
 #: Call targets that read the wall clock (dotted names after import
@@ -399,3 +400,87 @@ class WallClockCallbackRule(Rule):
             and isinstance(func.value, ast.Attribute)
             and func.value.attr == "callbacks"
         )
+
+
+#: Constructors whose result is a mutable container.
+_MUTABLE_FACTORIES = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "collections.deque",
+        "collections.Counter",
+        "collections.OrderedDict",
+    }
+)
+
+
+@register
+class SharedModuleStateRule(Rule):
+    """SLK008: no shared mutable module-level state in worker-reachable code.
+
+    Sweep workers import task modules independently, so module-level
+    mutable state silently *forks*: each worker mutates its own copy,
+    ``jobs=1`` and ``jobs=N`` diverge, and the serial/parallel
+    bit-identity guarantee breaks.  Within ``worker_scope`` (default
+    ``repro/parallel/``), module globals must be immutable constants
+    (tuples, frozensets, strings, numbers); anything mutable must live
+    on an instance or travel through task arguments.  ``global``
+    statements are flagged for the same reason.
+    """
+
+    id = "SLK008"
+    summary = "shared mutable module-level state in worker-reachable code"
+
+    def applies_to(self, rel_path: str) -> bool:
+        return any(
+            rel_path.startswith(prefix) or f"/{prefix}" in f"/{rel_path}"
+            for prefix in self.ctx.config.worker_scope
+        )
+
+    def run(self):  # type: ignore[override]
+        tree = self.ctx.tree
+        if isinstance(tree, ast.Module):
+            for stmt in tree.body:
+                self._check_module_stmt(stmt)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Global):
+                self.report(
+                    node,
+                    "`global` rebinds module state — workers each mutate "
+                    "their own interpreter's copy, so jobs=1 and jobs=N "
+                    "diverge; pass state through task arguments instead",
+                )
+        return self.findings
+
+    def _check_module_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            return
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if names and all(n.startswith("__") and n.endswith("__") for n in names):
+            return  # module metadata (__all__ and friends) is fine
+        if self._is_mutable(value):
+            label = ", ".join(names) or "<target>"
+            self.report(
+                stmt,
+                f"module-level mutable `{label}` is per-process state — "
+                "each sweep worker gets an independent copy; use an "
+                "immutable constant (tuple/frozenset) or pass it via "
+                "task kwargs",
+            )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            return self.ctx.imports.qualname(node.func) in _MUTABLE_FACTORIES
+        return False

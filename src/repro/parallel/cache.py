@@ -1,0 +1,146 @@
+"""On-disk result cache for sweep points.
+
+A sweep point is a pure function of its inputs: the experiment is
+seed-deterministic, so ``(task, config, spec, kwargs)`` plus the code
+that interprets them fully determines the result.  The cache key is a
+SHA-256 over a canonical rendering of exactly those inputs, including a
+*code fingerprint* — a hash of every ``repro`` source file — so editing
+any simulation code invalidates every cached point, while re-running an
+unchanged sweep recomputes nothing.
+
+Entries are one pickle file per point under the cache root, written
+atomically (temp file + ``os.replace``) so a crashed or parallel run
+never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["ResultCache", "code_fingerprint", "point_key"]
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (path + contents).
+
+    Computed once per process; any code edit anywhere in the package
+    changes the fingerprint and therefore every cache key.  Hashing the
+    whole package rather than an import graph keeps the invalidation
+    rule trivially sound (never a stale hit) at the cost of occasional
+    over-invalidation, which only costs recompute time.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def _canonical(value: Any) -> str:
+    """Deterministic, process-independent rendering of a point input.
+
+    Dataclasses render as their sorted field dict, mappings sort by key
+    rendering, and containers recurse — so logically equal inputs hash
+    equal regardless of construction order, and nothing falls back to
+    a default ``repr`` that could embed a memory address.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: getattr(value, f.name) for f in dataclasses.fields(value)
+        }
+        return f"{type(value).__name__}({_canonical(fields)})"
+    if isinstance(value, dict):
+        items = sorted(
+            (_canonical(k), _canonical(v)) for k, v in value.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical(v) for v in value) + "]"
+    if isinstance(value, (str, int, float, bool, bytes)) or value is None:
+        return repr(value)
+    # Enums and other value-like objects: repr is stable for these; a
+    # genuinely repr-unstable object would also fail to pickle portably
+    # and has no business in a sweep-point input.
+    return repr(value)
+
+
+def point_key(
+    task: str,
+    config: Any,
+    spec: Any,
+    kwargs: Optional[dict] = None,
+    fingerprint: Optional[str] = None,
+) -> str:
+    """Content-hash cache key for one sweep point."""
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    payload = "\0".join(
+        (
+            task,
+            _canonical(config),
+            _canonical(spec),
+            _canonical(kwargs or {}),
+            fingerprint,
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-point cache rooted at a directory.
+
+    >>> cache = ResultCache("/tmp/sweeps")        # doctest: +SKIP
+    >>> cache.get(key) is None                    # doctest: +SKIP
+    True
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached record for ``key``, or None (counting hit/miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                record = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            # A stale or corrupt entry behaves like a miss; the fresh
+            # result will overwrite it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: Any) -> None:
+        """Store ``record`` under ``key`` atomically."""
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(record, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))

@@ -28,6 +28,11 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+#: Bound once at import so the scheduling hot path pays a module-global
+#: lookup instead of two attribute lookups per event.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 __all__ = [
     "Environment",
     "Event",
@@ -81,7 +86,14 @@ class Event:
     :meth:`fail` *triggers* it, scheduling it on the environment's
     event queue.  When the environment pops the event it becomes
     *processed* and all registered callbacks fire.
+
+    Event subclasses declare ``__slots__``: millions of events are
+    allocated per run, and slotted instances are both smaller and
+    faster to create than dict-backed ones.  Subclasses outside the
+    kernel may omit ``__slots__`` and regain a ``__dict__``.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -151,18 +163,29 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed ``delay`` of simulated time."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Timeouts are the kernel's most-allocated event, and they are
+        # born already triggered, so the generic Event.__init__ path
+        # (start pending, then flip state) is pure overhead: assign the
+        # final state directly instead of going through succeed()'s
+        # pending-state check.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
+        self.delay = delay
         env._schedule(self, delay=delay)
 
 
 class _Initialize(Event):
     """Immediate event used to start a newly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
@@ -179,6 +202,8 @@ class Process(Event):
     with the generator's return value) or raises (as a failure).  Other
     processes may therefore ``yield`` a process to wait for it.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
@@ -225,14 +250,20 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
-        self.env._active_process = self
+        # Hot path: every generator step goes through here, so hoist the
+        # attribute loads (generator, its bound send/throw) out of the loop.
+        env = self.env
+        env._active_process = self
+        generator = self._generator
+        send = generator.send
+        throw = generator.throw
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = throw(event._value)
             except StopIteration as exc:
                 self._target = None
                 self.succeed(exc.value)
@@ -247,7 +278,7 @@ class Process(Event):
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
                 try:
-                    self._generator.throw(error)
+                    throw(error)
                 except StopIteration as exc:
                     self.succeed(exc.value)
                 except BaseException as exc:
@@ -262,7 +293,7 @@ class Process(Event):
             # Already processed: loop and feed its value in immediately.
             event = next_event
 
-        self.env._active_process = None
+        env._active_process = None
 
 
 class Condition(Event):
@@ -271,6 +302,8 @@ class Condition(Event):
     The condition's value is a dict mapping each *triggered* event to
     its value, in trigger order.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -318,6 +351,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that triggers once *all* events have triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, lambda evts, count: count >= len(evts), events)
 
@@ -325,12 +360,16 @@ class AllOf(Condition):
 class AnyOf(Condition):
     """Condition that triggers once *any* event has triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, lambda evts, count: count >= 1, events)
 
 
 class Environment:
     """Execution environment that advances simulated time event by event."""
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_process")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -373,7 +412,7 @@ class Environment:
     # -- scheduling / execution -------------------------------------------
 
     def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
-        heapq.heappush(
+        _heappush(
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
 
@@ -385,7 +424,7 @@ class Environment:
         """Process the next scheduled event."""
         if not self._queue:
             raise SimulationError("no scheduled events")
-        time, _, _, event = heapq.heappop(self._queue)
+        time, _, _, event = _heappop(self._queue)
         self._now = time
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -420,9 +459,21 @@ class Environment:
             self._schedule(stop_event, priority=URGENT, delay=at - self._now)
             stop_event.callbacks.append(self._stop_callback)
 
+        # Inlined step() loop: the body below matches step() exactly but
+        # keeps the queue and heappop in locals, which measurably raises
+        # events/sec on long runs (see scripts/bench_kernel.py).  The
+        # queue list is only ever mutated, never rebound, so the alias
+        # stays valid across the whole run.
+        queue = self._queue
         try:
-            while self._queue:
-                self.step()
+            while queue:
+                time, _, _, event = _heappop(queue)
+                self._now = time
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event._defused:
+                    raise event._value
         except StopSimulation:
             if isinstance(until, Event):
                 if until._ok:

@@ -12,13 +12,14 @@ from repro.lint import lint_paths, load_pyproject_config
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src" / "repro"
+SCRIPTS = REPO_ROOT / "scripts"
 
 
-def test_src_repro_is_lint_clean():
+def test_src_repro_and_scripts_are_lint_clean():
     config = load_pyproject_config(REPO_ROOT / "pyproject.toml")
-    findings = lint_paths([SRC], config=config, root=REPO_ROOT)
+    findings = lint_paths([SRC, SCRIPTS], config=config, root=REPO_ROOT)
     rendered = "\n".join(f.render() for f in findings)
-    assert not findings, f"slackerlint findings in src/repro:\n{rendered}"
+    assert not findings, f"slackerlint findings:\n{rendered}"
 
 
 def test_linter_still_detects_a_seeded_positive(tmp_path):

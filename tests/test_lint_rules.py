@@ -210,6 +210,66 @@ class TestSLK007WallClockCallback:
         assert "SLK001" in ids
 
 
+class TestSLK008SharedModuleState:
+    WORKER_PATH = "src/repro/parallel/tasks.py"
+
+    def test_positive_module_level_dict(self):
+        src = "CACHE = {}\n"
+        assert "SLK008" in rule_ids(src, rel_path=self.WORKER_PATH)
+
+    def test_positive_module_level_list_call(self):
+        src = "RESULTS = list()\n"
+        assert "SLK008" in rule_ids(src, rel_path=self.WORKER_PATH)
+
+    def test_positive_annotated_mutable(self):
+        src = "SEEN: dict = {}\n"
+        assert "SLK008" in rule_ids(src, rel_path=self.WORKER_PATH)
+
+    def test_positive_collections_factory(self):
+        src = (
+            "import collections\n"
+            "COUNTS = collections.defaultdict(int)\n"
+        )
+        assert "SLK008" in rule_ids(src, rel_path=self.WORKER_PATH)
+
+    def test_positive_global_statement(self):
+        src = (
+            "TOTAL = 0\n"
+            "def bump():\n"
+            "    global TOTAL\n"
+            "    TOTAL += 1\n"
+        )
+        assert "SLK008" in rule_ids(src, rel_path=self.WORKER_PATH)
+
+    def test_negative_immutable_constants(self):
+        src = (
+            "RATES = (4, 8, 12)\n"
+            "NAMES = frozenset({'a', 'b'})\n"
+            "TASK = 'repro.parallel.tasks:single_tenant_point'\n"
+        )
+        assert "SLK008" not in rule_ids(src, rel_path=self.WORKER_PATH)
+
+    def test_negative_dunder_metadata(self):
+        src = "__all__ = ['SweepRunner']\n"
+        assert "SLK008" not in rule_ids(src, rel_path=self.WORKER_PATH)
+
+    def test_negative_function_local_mutables(self):
+        src = "def collect():\n    out = []\n    return out\n"
+        assert "SLK008" not in rule_ids(src, rel_path=self.WORKER_PATH)
+
+    def test_negative_outside_worker_scope(self):
+        src = "CACHE = {}\n"
+        assert "SLK008" not in rule_ids(src, rel_path="src/repro/example.py")
+
+    def test_worker_scope_configurable(self):
+        src = "CACHE = {}\n"
+        config = LintConfig(worker_scope=("src/mypool/",))
+        assert "SLK008" in rule_ids(src, rel_path="src/mypool/w.py", config=config)
+        assert "SLK008" not in rule_ids(
+            src, rel_path=self.WORKER_PATH, config=config
+        )
+
+
 class TestPragmas:
     def test_line_pragma_suppresses_only_that_line(self):
         src = (
@@ -304,9 +364,9 @@ class TestConfig:
 
 
 class TestRegistryAndSyntax:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         ids = set(all_rules())
-        assert {f"SLK00{i}" for i in range(1, 8)} <= ids
+        assert {f"SLK00{i}" for i in range(1, 9)} <= ids
 
     def test_syntax_error_reported_not_raised(self):
         findings = lint_source("def broken(:\n")
