@@ -221,7 +221,11 @@ def _make_chooser(kind: str, num_rows: int, rng):
     raise ValueError(f"unknown key distribution {kind!r}")
 
 
-def _build_cluster(config: ExperimentConfig, streams: RandomStreams) -> SlackerCluster:
+def _build_cluster(
+    config: ExperimentConfig,
+    streams: RandomStreams,
+    retry_policy=None,
+) -> SlackerCluster:
     env = Environment()
     node_config = NodeConfig(
         buffer_bytes=config.tenant.buffer_bytes,
@@ -235,6 +239,7 @@ def _build_cluster(config: ExperimentConfig, streams: RandomStreams) -> SlackerC
         server_params=config.server,
         node_config=node_config,
         streams=streams,
+        retry_policy=retry_policy,
     )
 
 

@@ -1,0 +1,220 @@
+"""The fault injector: binds a :class:`FaultPlan` to one simulation.
+
+The injector hooks the existing layers rather than replacing them:
+
+* message faults ride the bus's ``faults`` attribute — the transport
+  asks :meth:`FaultInjector.message_fate` once per delivery and
+  :meth:`FaultInjector.is_down` at each end of the hop;
+* node crashes call :meth:`SlackerNode.crash` (fail-stop of the
+  middleware daemon: heartbeats stop, messages vanish, outgoing
+  migrations abort) and later :meth:`SlackerNode.restart`;
+* NIC/disk stalls hold the underlying capacity-1 resource at high
+  priority, so everything behind them queues — exactly what a hung
+  controller or a firmware pause looks like;
+* NIC/disk rate collapses rebind the resource's parameter block to a
+  scaled-bandwidth copy for the duration;
+* ``abort_backup`` cancels whatever migration the named node is
+  running mid-stream via :meth:`LiveMigration.try_abort`.
+
+All randomness comes from one named ``RandomStreams`` child stream, so
+a chaos run is a pure function of (config seed, plan) and replays
+bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..simulation import Environment, RandomStreams
+from .plan import FaultPlan, ScheduledFault
+
+__all__ = ["MessageFate", "FaultStats", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class MessageFate:
+    """The injector's verdict for one message delivery."""
+
+    drop: bool = False
+    duplicate: bool = False
+    delay: float = 0.0
+
+
+@dataclass
+class FaultStats:
+    """Running counters for one injector."""
+
+    fates_drawn: int = 0
+    node_crashes: int = 0
+    node_restarts: int = 0
+    nic_stalls: int = 0
+    nic_rate_collapses: int = 0
+    disk_stalls: int = 0
+    disk_rate_collapses: int = 0
+    backup_aborts: int = 0
+    #: Scheduled faults that found nothing to act on (e.g. an
+    #: ``abort_backup`` when no migration was in flight).
+    noops: int = 0
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "fates_drawn": self.fates_drawn,
+            "node_crashes": self.node_crashes,
+            "node_restarts": self.node_restarts,
+            "nic_stalls": self.nic_stalls,
+            "nic_rate_collapses": self.nic_rate_collapses,
+            "disk_stalls": self.disk_stalls,
+            "disk_rate_collapses": self.disk_rate_collapses,
+            "backup_aborts": self.backup_aborts,
+            "noops": self.noops,
+        }
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against one cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        plan: FaultPlan,
+        streams: RandomStreams,
+    ):
+        self.env = env
+        self.plan = plan
+        self._rng = streams.stream("faults:messages")
+        self.stats = FaultStats()
+        self._down: set[str] = set()
+        self.cluster = None
+
+    def attach(self, cluster) -> "FaultInjector":
+        """Hook the plan into a :class:`SlackerCluster`; returns self.
+
+        Attaching an *empty* plan is free: the bus hook short-circuits
+        before drawing anything, and no scheduler processes start.
+        """
+        self.cluster = cluster
+        cluster.bus.faults = self
+        for fault in self.plan.scheduled:
+            self.env.process(self._run_scheduled(fault))
+        return self
+
+    # -- bus hooks ---------------------------------------------------------
+
+    def is_down(self, name: str) -> bool:
+        """True while ``name``'s middleware daemon is crashed."""
+        return name in self._down
+
+    def message_fate(self, sender: str, recipient: str) -> Optional[MessageFate]:
+        """Draw the fate of one message, or ``None`` for fault-free."""
+        mf = self.plan.messages
+        if not mf.active or self.env.now < mf.after:
+            return None
+        rng = self._rng
+        self.stats.fates_drawn += 1
+        if mf.drop_prob > 0 and rng.random() < mf.drop_prob:
+            return MessageFate(drop=True)
+        duplicate = mf.dup_prob > 0 and rng.random() < mf.dup_prob
+        delay = 0.0
+        if mf.delay_prob > 0 and rng.random() < mf.delay_prob:
+            delay = rng.uniform(mf.delay_min, mf.delay_max)
+        elif mf.reorder_prob > 0 and rng.random() < mf.reorder_prob:
+            # Reordering is a targeted long delay: later messages on
+            # the same hop overtake this one.
+            delay = mf.reorder_delay
+        if not duplicate and delay <= 0.0:
+            return None
+        return MessageFate(duplicate=duplicate, delay=delay)
+
+    # -- scheduled faults --------------------------------------------------
+
+    def _node(self, name: str):
+        if self.cluster is None:
+            raise RuntimeError("injector is not attached to a cluster")
+        return self.cluster.node(name)
+
+    def _run_scheduled(self, fault: ScheduledFault):
+        yield self.env.timeout(fault.at)
+        kind = fault.kind
+        if kind == "crash_node":
+            yield from self._crash(fault)
+        elif kind == "restart_node":
+            self._restart(fault.node)
+        elif kind == "nic_stall":
+            server = self._node(fault.node).server
+            self.stats.nic_stalls += 1
+            yield from self._stall(server.nic_out._wire, fault.duration)
+        elif kind == "disk_stall":
+            server = self._node(fault.node).server
+            self.stats.disk_stalls += 1
+            yield from self._stall(server.disk._arm, fault.duration)
+        elif kind == "nic_rate":
+            server = self._node(fault.node).server
+            self.stats.nic_rate_collapses += 1
+            yield from self._collapse_nic(server, fault)
+        elif kind == "disk_rate":
+            server = self._node(fault.node).server
+            self.stats.disk_rate_collapses += 1
+            yield from self._collapse_disk(server, fault)
+        elif kind == "abort_backup":
+            self._abort_backup(fault)
+
+    def _crash(self, fault: ScheduledFault):
+        node = self._node(fault.node)
+        self._down.add(fault.node)
+        node.crash(reason=fault.reason or f"injected crash at t={fault.at:g}")
+        self.stats.node_crashes += 1
+        if fault.duration > 0:
+            yield self.env.timeout(fault.duration)
+            self._restart(fault.node)
+
+    def _restart(self, name: str) -> None:
+        node = self._node(name)
+        self._down.discard(name)
+        if not node.alive:
+            node.restart()
+            self.stats.node_restarts += 1
+        else:
+            self.stats.noops += 1
+
+    def _stall(self, resource, duration: float):
+        """Hold a capacity-1 resource so everything behind it queues."""
+        with resource.request(priority=-(10**6)) as grant:
+            yield grant
+            yield self.env.timeout(duration)
+
+    def _collapse_nic(self, server, fault: ScheduledFault):
+        for link in (server.nic_out, server.nic_in):
+            link.params = replace(
+                link.params, bandwidth=link.params.bandwidth * fault.factor
+            )
+        yield self.env.timeout(fault.duration)
+        for link in (server.nic_out, server.nic_in):
+            link.params = replace(
+                link.params, bandwidth=link.params.bandwidth / fault.factor
+            )
+
+    def _collapse_disk(self, server, fault: ScheduledFault):
+        disk = server.disk
+        disk.params = replace(
+            disk.params,
+            sequential_bandwidth=disk.params.sequential_bandwidth * fault.factor,
+            random_bandwidth=disk.params.random_bandwidth * fault.factor,
+        )
+        yield self.env.timeout(fault.duration)
+        disk.params = replace(
+            disk.params,
+            sequential_bandwidth=disk.params.sequential_bandwidth / fault.factor,
+            random_bandwidth=disk.params.random_bandwidth / fault.factor,
+        )
+
+    def _abort_backup(self, fault: ScheduledFault) -> None:
+        node = self._node(fault.node)
+        reason = fault.reason or "backup stream aborted by fault injection"
+        aborted = False
+        for migration in list(node.active_migrations.values()):
+            if migration.try_abort(reason):
+                aborted = True
+                self.stats.backup_aborts += 1
+        if not aborted:
+            self.stats.noops += 1

@@ -1,0 +1,143 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is pure data: probabilistic message faults plus a
+list of scheduled faults, validated at construction.  Plans carry no
+simulation state, so the same plan object can drive many runs — the
+:class:`~repro.faults.injector.FaultInjector` binds a plan to one
+environment and one seeded RNG stream, which is what makes every chaos
+run replay bit-identically from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FaultKind", "MessageFaults", "ScheduledFault", "FaultPlan"]
+
+#: The scheduled-fault kinds the injector understands.
+FaultKind = str
+
+#: Valid values for :attr:`ScheduledFault.kind`.
+SCHEDULED_KINDS = frozenset(
+    {
+        "crash_node",
+        "restart_node",
+        "nic_stall",
+        "nic_rate",
+        "disk_stall",
+        "disk_rate",
+        "abort_backup",
+    }
+)
+
+#: Kinds that need a positive ``duration``.
+_DURATION_KINDS = frozenset({"nic_stall", "nic_rate", "disk_stall", "disk_rate"})
+
+#: Kinds that need a ``factor`` in (0, 1]: the resource keeps
+#: ``factor`` of its nominal bandwidth for the duration.
+_FACTOR_KINDS = frozenset({"nic_rate", "disk_rate"})
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """Probabilistic per-message faults on the control-plane bus.
+
+    Each delivered message independently draws its fate from the
+    injector's seeded stream: dropped with ``drop_prob``, duplicated
+    with ``dup_prob``, held back ``delay_min..delay_max`` seconds with
+    ``delay_prob``, or held back a fixed ``reorder_delay`` with
+    ``reorder_prob`` (long enough that later messages overtake it —
+    reordering is just a targeted delay).  Faults only apply from
+    ``after`` seconds of simulated time, so warmup traffic is clean.
+    """
+
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_min: float = 0.0
+    delay_max: float = 0.05
+    reorder_prob: float = 0.0
+    reorder_delay: float = 0.25
+    after: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "dup_prob", "delay_prob", "reorder_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.delay_min < 0 or self.delay_max < self.delay_min:
+            raise ValueError(
+                f"need 0 <= delay_min <= delay_max, got "
+                f"[{self.delay_min}, {self.delay_max}]"
+            )
+        if self.reorder_delay < 0:
+            raise ValueError(f"reorder_delay must be >= 0, got {self.reorder_delay}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+
+    @property
+    def active(self) -> bool:
+        """True when any fault probability is non-zero."""
+        return (
+            self.drop_prob > 0
+            or self.dup_prob > 0
+            or self.delay_prob > 0
+            or self.reorder_prob > 0
+        )
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One fault fired at an absolute simulated time.
+
+    ``kind`` selects the mechanism (see :data:`SCHEDULED_KINDS`);
+    ``node`` names the cluster node it targets.  ``duration`` bounds
+    transient faults: a ``crash_node`` with a positive duration
+    restarts automatically, stalls and rate collapses always end after
+    ``duration`` seconds.  ``factor`` scales bandwidth for the rate
+    kinds.  ``reason`` is carried into abort records and logs.
+    """
+
+    at: float
+    kind: FaultKind
+    node: str
+    duration: float = 0.0
+    factor: float = 1.0
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.kind not in SCHEDULED_KINDS:
+            raise ValueError(
+                f"kind must be one of {sorted(SCHEDULED_KINDS)}, got {self.kind!r}"
+            )
+        if not self.node:
+            raise ValueError("scheduled faults must name a node")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+        if self.kind in _DURATION_KINDS and self.duration <= 0:
+            raise ValueError(f"{self.kind} needs a positive duration")
+        if self.kind in _FACTOR_KINDS and not 0.0 < self.factor <= 1.0:
+            raise ValueError(f"{self.kind} needs a factor in (0, 1], got {self.factor}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that can go wrong in one run, as declarative data."""
+
+    messages: MessageFaults = field(default_factory=MessageFaults)
+    scheduled: tuple[ScheduledFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Tolerate lists; store a hashable tuple.
+        if not isinstance(self.scheduled, tuple):
+            object.__setattr__(self, "scheduled", tuple(self.scheduled))
+        for fault in self.scheduled:
+            if not isinstance(fault, ScheduledFault):
+                raise TypeError(f"scheduled entries must be ScheduledFault, got {fault!r}")
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not self.messages.active and not self.scheduled

@@ -44,6 +44,9 @@ class LintConfig:
     #: points, where the shared-module-state rule (SLK008) applies;
     #: empty disables the rule.
     worker_scope: tuple[str, ...] = ("repro/parallel/",)
+    #: Path prefixes where the bounded-retry rule (SLK009) applies;
+    #: empty disables the rule.
+    retry_scope: tuple[str, ...] = ("repro/",)
 
     def with_extra_disabled(self, rule_ids: tuple[str, ...]) -> "LintConfig":
         merged = tuple(dict.fromkeys(self.disable + rule_ids))
@@ -52,6 +55,7 @@ class LintConfig:
             wall_clock_allow=self.wall_clock_allow,
             units_scope=self.units_scope,
             worker_scope=self.worker_scope,
+            retry_scope=self.retry_scope,
         )
 
 
@@ -70,6 +74,7 @@ def _config_from_table(table: dict) -> LintConfig:
         wall_clock_allow=_str_tuple("wall_clock_allow", defaults.wall_clock_allow),
         units_scope=_str_tuple("units_scope", defaults.units_scope),
         worker_scope=_str_tuple("worker_scope", defaults.worker_scope),
+        retry_scope=_str_tuple("retry_scope", defaults.retry_scope),
     )
 
 

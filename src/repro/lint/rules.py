@@ -8,6 +8,7 @@ end and never reuse an id.
 from __future__ import annotations
 
 import ast
+import re
 from typing import Optional
 
 from .framework import Rule, register
@@ -21,6 +22,7 @@ __all__ = [
     "RawByteLiteralRule",
     "WallClockCallbackRule",
     "SharedModuleStateRule",
+    "UnboundedRetryRule",
 ]
 
 #: Call targets that read the wall clock (dotted names after import
@@ -484,3 +486,127 @@ class SharedModuleStateRule(Rule):
         if isinstance(node, ast.Call):
             return self.ctx.imports.qualname(node.func) in _MUTABLE_FACTORIES
         return False
+
+
+#: Loop-local names whose presence in a comparison marks a retry loop
+#: as bounded (attempt counters, deadlines, budgets).
+_BOUND_NAME_RE = re.compile(
+    r"(attempt|retr|tries|try_count|deadline|budget|remaining)", re.IGNORECASE
+)
+
+#: Function names expected to produce retry jitter/backoff values.
+_JITTER_NAME_RE = re.compile(r"(backoff|jitter)", re.IGNORECASE)
+
+#: Constructors of process-seeded RNGs (non-replayable jitter sources).
+_FRESH_RNG_CALLS = frozenset({"random.Random", "random.SystemRandom"})
+
+
+@register
+class UnboundedRetryRule(Rule):
+    """SLK009: retry loops must be bounded, retry jitter must be seeded.
+
+    Two failure patterns of hardened transports:
+
+    * a ``while True:`` loop that re-enters from an ``except`` handler
+      (``continue`` inside the handler) with no visible attempt counter,
+      deadline, or budget in sight — under a fault plan that makes the
+      operation *always* fail, such a loop spins forever and the chaos
+      run wedges instead of aborting;
+    * jitter/backoff helpers constructing a fresh ``random.Random`` —
+      its seed differs per process, so ``jobs=1`` and ``jobs=N`` sweeps
+      draw different backoff delays and the bit-identical replay
+      guarantee breaks.  Jitter must come from a ``simulation.rng``
+      stream passed in by the caller.
+
+    Scoped to ``retry_scope`` (default ``repro/``); tests are exempt.
+    """
+
+    id = "SLK009"
+    summary = "unbounded retry loop or process-seeded retry jitter"
+
+    def applies_to(self, rel_path: str) -> bool:
+        return any(
+            rel_path.startswith(prefix) or f"/{prefix}" in f"/{rel_path}"
+            for prefix in self.ctx.config.retry_scope
+        )
+
+    def run(self):  # type: ignore[override]
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, ast.While) and self._is_forever(node):
+                self._check_retry_loop(node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _JITTER_NAME_RE.search(node.name):
+                    self._check_jitter_function(node)
+        return self.findings
+
+    @staticmethod
+    def _is_forever(loop: ast.While) -> bool:
+        return isinstance(loop.test, ast.Constant) and bool(loop.test.value)
+
+    def _scope_nodes(self, stmts):
+        """Nodes within ``stmts``, not descending into nested loops or
+        function definitions (a ``continue`` there belongs to *that*
+        loop; a counter there does not bound *this* one)."""
+        stack = list(stmts)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(
+                node,
+                (
+                    ast.While,
+                    ast.For,
+                    ast.AsyncFor,
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                    ast.Lambda,
+                ),
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_retry_loop(self, loop: ast.While) -> None:
+        if self._has_bound(loop):
+            return
+        for node in self._scope_nodes(loop.body):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                for stmt in self._scope_nodes(handler.body):
+                    if isinstance(stmt, ast.Continue):
+                        self.report(
+                            stmt,
+                            "`while True:` retries from an except handler "
+                            "with no attempt counter, deadline, or budget "
+                            "in sight — a permanent fault spins this loop "
+                            "forever; bound it (e.g. `for attempt in "
+                            "range(n)`) so exhaustion raises",
+                        )
+                        return
+
+    def _has_bound(self, loop: ast.While) -> bool:
+        for node in self._scope_nodes(loop.body):
+            if not isinstance(node, ast.Compare):
+                continue
+            for sub in ast.walk(node):
+                name = None
+                if isinstance(sub, ast.Name):
+                    name = sub.id
+                elif isinstance(sub, ast.Attribute):
+                    name = sub.attr
+                if name is not None and _BOUND_NAME_RE.search(name):
+                    return True
+        return False
+
+    def _check_jitter_function(self, func) -> None:
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Call)
+                and self.ctx.imports.qualname(node.func) in _FRESH_RNG_CALLS
+            ):
+                self.report(
+                    node,
+                    "jitter/backoff constructs its own RNG — per-process "
+                    "seeds break bit-identical replay; draw from a "
+                    "simulation.rng stream passed in by the caller",
+                )

@@ -4,6 +4,11 @@ A convenience assembly mirroring the paper's Figure 4 testbed: several
 servers each running a Slacker migration controller, connected
 peer-to-peer, plus the lightweight frontend.  Experiments and examples
 build a :class:`SlackerCluster` and talk to its nodes.
+
+Pass ``retry_policy`` to run the control plane in hardened mode
+(per-message timeouts, bounded retries, deterministic jittered
+backoff); leave it ``None`` for the fault-free legacy bus, which is
+event-for-event identical to the pre-fault-injection transport.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from ..resources.server import Server, ServerParams
 from ..simulation import Environment, RandomStreams, Trace
 from .frontend import Frontend
 from .node import NodeConfig, SlackerNode
-from .transport import MessageBus
+from .transport import MessageBus, RetryPolicy
 
 __all__ = ["SlackerCluster"]
 
@@ -30,6 +35,7 @@ class SlackerCluster:
         node_config: Optional[NodeConfig] = None,
         streams: Optional[RandomStreams] = None,
         trace: Optional[Trace] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if not node_names:
             raise ValueError("need at least one node name")
@@ -42,7 +48,15 @@ class SlackerCluster:
             name: Server(env, name, params=server_params, streams=self.streams)
             for name in node_names
         }
-        self.bus = MessageBus(env, nics=self.servers)
+        if retry_policy is not None:
+            self.bus = MessageBus(
+                env,
+                nics=self.servers,
+                retry_policy=retry_policy,
+                jitter_rng=self.streams.stream("transport:jitter"),
+            )
+        else:
+            self.bus = MessageBus(env, nics=self.servers)
         self.frontend = Frontend(env, self.bus)
         self.nodes: dict[str, SlackerNode] = {
             name: SlackerNode(
@@ -73,3 +87,33 @@ class SlackerCluster:
     def total_tenants(self) -> int:
         """Tenants across all nodes."""
         return sum(len(node.registry) for node in self.nodes.values())
+
+    # -- failure-handling helpers ------------------------------------------
+
+    def start_heartbeats(self, interval: float = 10.0) -> None:
+        """Start the heartbeat broadcaster on every node."""
+        for node in self.nodes.values():
+            node.start_heartbeats(interval)
+
+    def start_failure_detectors(
+        self, interval: float = 1.0, miss_threshold: float = 3.0
+    ) -> None:
+        """Start the missed-heartbeat failure detector on every node."""
+        for node in self.nodes.values():
+            node.start_failure_detector(interval, miss_threshold)
+
+    def alive_nodes(self) -> list[str]:
+        """Names of nodes whose middleware daemon is currently up."""
+        return [name for name, node in self.nodes.items() if node.alive]
+
+    def tenant_census(self) -> dict[int, list[str]]:
+        """tenant_id -> names of nodes whose registry holds it.
+
+        The exactly-once invariant the chaos sweep asserts: every
+        tenant appears on exactly one node, crash or no crash.
+        """
+        census: dict[int, list[str]] = {}
+        for name in sorted(self.nodes):
+            for tenant_id in self.nodes[name].registry.ids():
+                census.setdefault(tenant_id, []).append(name)
+        return census

@@ -13,6 +13,28 @@ fixed throttle or the PID-driven dynamic throttle.  For dynamic
 migrations the controller's process variable pools the latency of
 *all* tenants on the node (and optionally the target node), per
 Sections 5.6 and 6.
+
+Failure handling
+----------------
+
+The control plane is hardened against an unreliable bus (see
+``docs/FAULTS.md``):
+
+* every handler is **idempotent** — duplicate or late control messages
+  (the natural consequence of at-least-once delivery under retries)
+  are detected and ignored;
+* outgoing migrations are bounded: the accept round-trip races a
+  timeout (when the bus carries a retry policy), and undeliverable
+  requests abort the migration with the tenant rolled back to plain
+  ``ACTIVE`` at the source;
+* a node can ``crash()`` (fail-stop of the middleware daemon: its
+  messages vanish, heartbeats stop, outgoing migrations abort; tenant
+  mysqld daemons keep serving — they are separate processes) and later
+  ``restart()``;
+* a **failure detector** declares peers dead after a configurable
+  number of missed heartbeats and cancels in-flight migrations whose
+  target is the dead peer (Zephyr semantics: the tenant stays at the
+  source).
 """
 
 from __future__ import annotations
@@ -26,7 +48,7 @@ from ..control.window import DEFAULT_WINDOW, LatencyWindow
 from ..db.engine import DatabaseEngine
 from ..db.pages import TableLayout
 from ..migration.controller import ControllerConfig, DynamicThrottleController
-from ..migration.live import LiveMigration, LiveMigrationResult
+from ..migration.live import LiveMigration, LiveMigrationResult, MigrationAborted
 from ..migration.throttle import Throttle
 from ..resources.server import Server
 from ..resources.units import MB
@@ -44,7 +66,7 @@ from .protocol import (
     TenantLocationUpdate,
 )
 from .tenant import Tenant, TenantRegistry, TenantStatus
-from .transport import MessageBus
+from .transport import DeliveryError, MessageBus
 
 __all__ = ["NodeConfig", "SlackerNode"]
 
@@ -75,11 +97,19 @@ class NodeConfig:
     #: Floor on the dynamic throttle, percent of max rate (0 = the
     #: paper's behaviour: bursts may pause migration entirely).
     min_output_pct: float = 0.0
+    #: How long to wait for a MigrateTenantAccept before aborting,
+    #: seconds (only enforced when the bus carries a retry policy — a
+    #: fault-free bus answers deterministically).
+    accept_timeout: float = 5.0
 
     def __post_init__(self) -> None:
         if self.controller not in ("velocity", "adaptive"):
             raise ValueError(
                 f"controller must be 'velocity' or 'adaptive', got {self.controller!r}"
+            )
+        if self.accept_timeout <= 0:
+            raise ValueError(
+                f"accept_timeout must be positive, got {self.accept_timeout}"
             )
 
 
@@ -92,7 +122,15 @@ class NodeStats:
     migrations_out: int = 0
     migrations_in: int = 0
     migrations_queued: int = 0
+    migrations_aborted: int = 0
     messages_handled: int = 0
+    #: Duplicate/late control messages recognised and ignored.
+    duplicates_ignored: int = 0
+    #: Best-effort sends (replies, heartbeats, completions) that failed.
+    notify_failures: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    peers_declared_dead: int = 0
     completed: list[LiveMigrationResult] = field(default_factory=list)
 
 
@@ -118,16 +156,24 @@ class SlackerNode:
         self.endpoint = bus.endpoint(self.name)
         self.registry = TenantRegistry()
         self.stats = NodeStats()
+        #: False while the middleware daemon is crashed (fail-stop).
+        self.alive = True
         #: Peer directory, set by the cluster after all nodes exist.
         self.peers: dict[str, SlackerNode] = {}
+        #: Peers this node's failure detector currently considers dead.
+        self.dead_peers: set[str] = set()
+        #: tenant_id -> in-flight *outgoing* LiveMigration.
+        self.active_migrations: dict[int, LiveMigration] = {}
         #: tenant_id -> latency Series attached by workload clients.
         self._latency_series: dict[int, Series] = {}
         self._pending_accepts: dict[int, Event] = {}
         #: Last heartbeat received from each peer.
         self.peer_loads: dict[str, Heartbeat] = {}
+        self._peer_last_seen: dict[str, float] = {}
         self._migration_queue: list = []
         self._migration_worker_running = False
         self._heartbeat_interval: Optional[float] = None
+        self._detector_interval: Optional[float] = None
         self._last_disk_busy = 0.0
         self._last_heartbeat_at = 0.0
         self._dispatcher = env.process(self._dispatch_loop())
@@ -188,6 +234,39 @@ class SlackerNode:
             if tid in self.registry
         ]
 
+    # -- crash / restart -------------------------------------------------------
+
+    def crash(self, reason: str = "") -> None:
+        """Fail-stop the middleware daemon.
+
+        Heartbeats stop, the bus drops this node's messages (via the
+        fault injector's ``is_down``), and every in-flight *outgoing*
+        migration aborts — the tenant stays at the source.  Tenant
+        engines keep serving: mysqld is a separate process from the
+        Slacker daemon.  Idempotent.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.stats.crashes += 1
+        why = reason or f"node {self.name} crashed"
+        for migration in list(self.active_migrations.values()):
+            migration.try_abort(why)
+
+    def restart(self) -> None:
+        """Bring a crashed middleware daemon back.  Idempotent.
+
+        Peers get a fresh grace period so the failure detector does not
+        instantly re-declare them dead from stale timestamps.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.stats.restarts += 1
+        now = self.env.now
+        for peer in self.peers:
+            self._peer_last_seen[peer] = now
+
     # -- migration --------------------------------------------------------------
 
     def migrate_tenant(
@@ -202,13 +281,21 @@ class SlackerNode:
 
         Exactly one of ``setpoint`` (dynamic PID throttle, seconds) or
         ``fixed_rate`` (bytes/second) must be given.  Returns the
-        :class:`LiveMigrationResult`.
+        :class:`LiveMigrationResult`; raises :class:`MigrationAborted`
+        when the migration is cancelled (undeliverable request, accept
+        timeout, dead target, injected abort, ...), in which case the
+        tenant is back to plain ``ACTIVE`` at the source.
         """
         if (setpoint is None) == (fixed_rate is None):
             raise ValueError("give exactly one of setpoint or fixed_rate")
+        if not self.alive:
+            raise RuntimeError(f"node {self.name} is down")
         tenant = self.registry.get(tenant_id)
         if target not in self.peers:
             raise KeyError(f"unknown peer node {target!r}")
+        if target in self.dead_peers:
+            self.stats.migrations_aborted += 1
+            raise MigrationAborted(f"target node {target} is marked dead")
         peer = self.peers[target]
         tenant.status = TenantStatus.MIGRATING_OUT
 
@@ -221,8 +308,22 @@ class SlackerNode:
             setpoint=setpoint or 0.0,
             fixed_rate=fixed_rate or 0.0,
         )
-        yield self.env.process(self.endpoint.send(target, request))
-        yield accept_event
+        try:
+            yield self.env.process(self.endpoint.send(target, request))
+        except DeliveryError as exc:
+            self._abandon_request(tenant, f"migrate request undeliverable: {exc}")
+        if self.bus.retry_policy is None:
+            # Fault-free bus: the accept is deterministic, no timeout
+            # needed (and no extra events on the legacy fast path).
+            yield accept_event
+        else:
+            deadline = self.env.timeout(self.config.accept_timeout)
+            yield self.env.any_of([accept_event, deadline])
+            if not accept_event.triggered:
+                self._abandon_request(
+                    tenant,
+                    f"no accept from {target} within {self.config.accept_timeout}s",
+                )
 
         # Data plane: throttled live migration.
         throttle = Throttle(self.env, rate=fixed_rate or 0.0)
@@ -234,6 +335,7 @@ class SlackerNode:
             chunk_bytes=self.config.chunk_bytes,
             on_handover=lambda engine: self._handover(tenant, peer, engine),
         )
+        self.active_migrations[tenant_id] = migration
         migration_proc = self.env.process(migration.run())
 
         controller = None
@@ -278,25 +380,52 @@ class SlackerNode:
             )
             self.env.process(controller.run(until=migration_proc))
 
-        result = yield migration_proc
-        throttle.stop()
-        if controller is not None:
-            controller.stop()
+        try:
+            result = yield migration_proc
+        except MigrationAborted:
+            # LiveMigration rolled the engines back; restore the
+            # control-plane view: the tenant is plain ACTIVE here.
+            if tenant_id in self.registry:
+                tenant.status = TenantStatus.ACTIVE
+            self.stats.migrations_aborted += 1
+            raise
+        finally:
+            self.active_migrations.pop(tenant_id, None)
+            throttle.stop()
+            if controller is not None:
+                controller.stop()
 
         # Tell the target (and any observer) the migration finished.
+        # Best-effort: the handover already happened, so a lost
+        # completion report must not fail the migration.
         complete = MigrateTenantComplete(
             tenant_id=tenant_id,
             duration=result.duration,
             downtime=result.downtime,
             bytes_moved=result.total_bytes,
         )
-        yield self.env.process(self.endpoint.send(target, complete))
+        yield from self._send_tolerant(target, complete)
         self.stats.migrations_out += 1
         self.stats.completed.append(result)
         return result
 
+    def _abandon_request(self, tenant: Tenant, reason: str):
+        """Roll back a migration that died before the data plane started."""
+        self._pending_accepts.pop(tenant.tenant_id, None)
+        tenant.status = TenantStatus.ACTIVE
+        self.stats.migrations_aborted += 1
+        raise MigrationAborted(reason)
+
     def _handover(self, tenant: Tenant, peer: "SlackerNode", engine) -> None:
-        """Swap authority to the target engine (runs at handover time)."""
+        """Swap authority to the target engine (runs at handover time).
+
+        Idempotent: a duplicate handover signal (late/duplicated
+        control message, re-entered callback) finds the tenant already
+        moved and does nothing.
+        """
+        if tenant.tenant_id not in self.registry:
+            self.stats.duplicates_ignored += 1
+            return
         self.registry.remove(tenant.tenant_id)
         self.detach_latency_series(tenant.tenant_id)
         tenant.record_move(self.env.now, self.name, peer.name)
@@ -348,14 +477,16 @@ class SlackerNode:
             self._migration_queue.pop(0)
         self._migration_worker_running = False
 
-    # -- heartbeats ---------------------------------------------------------------
+    # -- heartbeats and failure detection -----------------------------------------
 
     def start_heartbeats(self, interval: float = 10.0) -> None:
         """Begin broadcasting periodic load reports to every peer.
 
         Each heartbeat carries the tenant count and the disk
         utilization over the last interval — the raw inputs a remote
-        placement policy needs.
+        placement policy needs.  Heartbeats double as the liveness
+        signal the failure detector consumes; a crashed node stops
+        beating until restarted.
         """
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
@@ -381,11 +512,63 @@ class SlackerNode:
     def _heartbeat_loop(self):
         while True:
             yield self.env.timeout(self._heartbeat_interval)
+            if not self.alive:
+                continue
             beat = self.current_heartbeat()
             for peer in self.peers:
-                yield self.env.process(self.endpoint.send(peer, beat))
+                yield from self._send_tolerant(peer, beat)
+
+    def start_failure_detector(
+        self, interval: float = 1.0, miss_threshold: float = 3.0
+    ) -> None:
+        """Watch peer heartbeats; a silence longer than ``interval *
+        miss_threshold`` seconds declares the peer dead and cancels
+        in-flight migrations targeting it (the tenant stays at the
+        source).  Recovered peers (a fresh heartbeat) are un-declared.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if miss_threshold <= 0:
+            raise ValueError(f"miss_threshold must be positive, got {miss_threshold}")
+        if self._detector_interval is not None:
+            raise RuntimeError(f"node {self.name} already runs a failure detector")
+        self._detector_interval = interval
+        self.env.process(self._failure_detector_loop(interval, miss_threshold))
+
+    def _failure_detector_loop(self, interval: float, miss_threshold: float):
+        now = self.env.now
+        for peer in self.peers:
+            self._peer_last_seen.setdefault(peer, now)
+        horizon = interval * miss_threshold
+        while True:
+            yield self.env.timeout(interval)
+            if not self.alive:
+                continue
+            for peer in sorted(self.peers):
+                silent = self.env.now - self._peer_last_seen.get(peer, 0.0)
+                if silent > horizon:
+                    if peer not in self.dead_peers:
+                        self.dead_peers.add(peer)
+                        self.stats.peers_declared_dead += 1
+                        self._cancel_migrations_to(peer)
+                else:
+                    self.dead_peers.discard(peer)
+
+    def _cancel_migrations_to(self, peer: str) -> None:
+        for migration in list(self.active_migrations.values()):
+            if migration.target_server.name == peer:
+                migration.try_abort(f"target node {peer} declared dead")
 
     # -- control-plane dispatcher ------------------------------------------------
+
+    def _send_tolerant(self, recipient: str, message) -> object:
+        """Sub-generator: best-effort send; delivery failures are counted,
+        not raised (replies, heartbeats, completion reports)."""
+        proc = self.env.process(self.endpoint.send(recipient, message))
+        try:
+            yield proc
+        except DeliveryError:
+            self.stats.notify_failures += 1
 
     def _dispatch_loop(self):
         while True:
@@ -393,28 +576,43 @@ class SlackerNode:
             self.stats.messages_handled += 1
             message = envelope.message
             if isinstance(message, CreateTenantRequest):
-                tenant = self.create_tenant(
-                    message.tenant_id, message.data_bytes, message.buffer_bytes
-                )
+                if message.tenant_id in self.registry:
+                    # Duplicate create (retried request): answer with
+                    # the existing tenant instead of crashing.
+                    self.stats.duplicates_ignored += 1
+                    tenant = self.registry.get(message.tenant_id)
+                else:
+                    tenant = self.create_tenant(
+                        message.tenant_id, message.data_bytes, message.buffer_bytes
+                    )
                 reply = CreateTenantReply(
                     tenant_id=tenant.tenant_id, port=tenant.port, ok=True
                 )
-                yield self.env.process(self.endpoint.send(envelope.sender, reply))
+                yield from self._send_tolerant(envelope.sender, reply)
             elif isinstance(message, DeleteTenantRequest):
                 ok = message.tenant_id in self.registry
                 if ok:
                     self.delete_tenant(message.tenant_id)
+                else:
+                    self.stats.duplicates_ignored += 1
                 reply = DeleteTenantReply(tenant_id=message.tenant_id, ok=ok)
-                yield self.env.process(self.endpoint.send(envelope.sender, reply))
+                yield from self._send_tolerant(envelope.sender, reply)
             elif isinstance(message, MigrateTenantRequest):
                 # A peer announcing an incoming tenant: agree to receive.
+                # Re-sending an accept for a duplicate request is safe:
+                # the source ignores accepts with no pending migration.
                 accept = MigrateTenantAccept(tenant_id=message.tenant_id, ok=True)
-                yield self.env.process(self.endpoint.send(envelope.sender, accept))
+                yield from self._send_tolerant(envelope.sender, accept)
             elif isinstance(message, MigrateTenantAccept):
                 pending = self._pending_accepts.pop(message.tenant_id, None)
                 if pending is not None and not pending.triggered:
                     pending.succeed(message)
+                else:
+                    # Late or duplicated accept: the migration already
+                    # started (or timed out and was rolled back).
+                    self.stats.duplicates_ignored += 1
             elif isinstance(message, (MigrateTenantComplete, TenantLocationUpdate)):
                 pass  # informational
             elif isinstance(message, Heartbeat):
                 self.peer_loads[message.node] = message
+                self._peer_last_seen[message.node] = self.env.now

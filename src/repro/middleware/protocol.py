@@ -116,14 +116,18 @@ def _encode_field(number: int, value: Any) -> bytes:
     raise ProtocolError(f"unsupported field type {type(value).__name__}")
 
 
-def _skip_field(wire_type: int, data: bytes, offset: int) -> int:
+def _skip_field(wire_type: int, data: bytes, offset: int, end: int) -> int:
     if wire_type == _WIRE_VARINT:
         _, offset = decode_varint(data, offset)
         return offset
     if wire_type == _WIRE_FIXED64:
+        if offset + 8 > end:
+            raise ProtocolError("truncated fixed64 field")
         return offset + 8
     if wire_type == _WIRE_BYTES:
         length, offset = decode_varint(data, offset)
+        if offset + length > end:
+            raise ProtocolError("truncated length-delimited field")
         return offset + length
     raise ProtocolError(f"unsupported wire type {wire_type}")
 
@@ -192,7 +196,7 @@ def decode_message(data: bytes, offset: int = 0) -> tuple[Any, int]:
         number, wire_type = key >> 3, key & 0x7
         f = by_number.get(number)
         if f is None:
-            offset = _skip_field(wire_type, data, offset)
+            offset = _skip_field(wire_type, data, offset, end)
             continue
         if wire_type == _WIRE_VARINT:
             raw, offset = decode_varint(data, offset)
@@ -201,20 +205,32 @@ def decode_message(data: bytes, offset: int = 0) -> tuple[Any, int]:
                 decoded = bool(decoded)
             values[f.name] = decoded
         elif wire_type == _WIRE_FIXED64:
+            if offset + 8 > end:
+                raise ProtocolError("truncated fixed64 field")
             values[f.name] = struct.unpack_from("<d", data, offset)[0]
             offset += 8
         elif wire_type == _WIRE_BYTES:
             blen, offset = decode_varint(data, offset)
+            if offset + blen > end:
+                raise ProtocolError("truncated length-delimited field")
             payload = data[offset : offset + blen]
             offset += blen
-            values[f.name] = (
-                payload if f.type in ("bytes", bytes) else payload.decode("utf-8")
-            )
+            if f.type in ("bytes", bytes):
+                values[f.name] = payload
+            else:
+                try:
+                    values[f.name] = payload.decode("utf-8")
+                except UnicodeDecodeError as exc:
+                    raise ProtocolError(f"invalid utf-8 in field {f.name}") from exc
         else:
             raise ProtocolError(f"unsupported wire type {wire_type}")
     if offset != end:
         raise ProtocolError("message body length mismatch")
-    return cls(**values), end
+    try:
+        return cls(**values), end
+    except TypeError as exc:
+        # A syntactically valid frame may still miss required fields.
+        raise ProtocolError(f"incomplete {cls.__name__}: {exc}") from exc
 
 
 # -- concrete control-plane messages -----------------------------------------

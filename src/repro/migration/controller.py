@@ -26,7 +26,7 @@ from typing import Optional, Protocol, Sequence
 from ..control.pid import PAPER_GAINS, PidGains, VelocityPidController
 from ..control.window import DEFAULT_TIMESTEP, DEFAULT_WINDOW, LatencyWindow
 from ..resources.units import to_millis
-from ..simulation import Environment, Event, Trace
+from ..simulation import Environment, Event, Interrupt, Trace
 from .throttle import Throttle
 
 __all__ = ["ControllerConfig", "DynamicThrottleController", "LatencyController"]
@@ -124,8 +124,17 @@ class DynamicThrottleController:
         """Current controller output, percent of max rate."""
         return self.controller.output
 
+    @property
+    def stopped(self) -> bool:
+        """True once the loop has been told to stop (idempotent)."""
+        return self._stopped
+
     def stop(self) -> None:
-        """Stop the control loop (migration finished)."""
+        """Stop the control loop (migration finished or aborted).
+
+        Idempotent: both the success path and the abort/rollback path
+        may call it, in any order, any number of times.
+        """
         self._stopped = True
 
     def _measure(self) -> Optional[float]:
@@ -142,23 +151,30 @@ class DynamicThrottleController:
         """Process: step the loop each timestep until stopped.
 
         ``until`` (typically the migration process) also terminates the
-        loop when it fires.
+        loop when it fires — whether it *succeeds* (handover done) or
+        *fails* (``MigrationAborted``); an aborted migration must not
+        leave a controller stepping a dead throttle.  Interrupting the
+        loop process stops it cleanly as well.
         """
-        while not self._stopped and not (until is not None and until.triggered):
-            yield self.env.timeout(self.config.timestep)
-            if self._stopped or (until is not None and until.triggered):
-                break
-            latency = self._measure()
-            if latency is None:
-                continue  # no signal yet: hold the current rate
-            output_pct = self.controller.update(
-                to_millis(latency), dt=self.config.timestep
-            )
-            rate = output_pct / 100.0 * self.config.max_rate
-            self.throttle.set_rate(rate)
-            self.steps += 1
-            if self.trace is not None:
-                now = self.env.now
-                self.trace.record(f"{self.name}:window_latency", now, latency)
-                self.trace.record(f"{self.name}:throttle_rate", now, rate)
-                self.trace.record(f"{self.name}:output_pct", now, output_pct)
+        try:
+            while not self._stopped and not (until is not None and until.triggered):
+                yield self.env.timeout(self.config.timestep)
+                if self._stopped or (until is not None and until.triggered):
+                    break
+                latency = self._measure()
+                if latency is None:
+                    continue  # no signal yet: hold the current rate
+                output_pct = self.controller.update(
+                    to_millis(latency), dt=self.config.timestep
+                )
+                rate = output_pct / 100.0 * self.config.max_rate
+                self.throttle.set_rate(rate)
+                self.steps += 1
+                if self.trace is not None:
+                    now = self.env.now
+                    self.trace.record(f"{self.name}:window_latency", now, latency)
+                    self.trace.record(f"{self.name}:throttle_rate", now, rate)
+                    self.trace.record(f"{self.name}:output_pct", now, output_pct)
+        except Interrupt:
+            pass
+        self._stopped = True

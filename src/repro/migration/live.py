@@ -16,6 +16,16 @@ The paper's three-step pipeline (Section 2.3.2):
 The snapshot path is pipelined source-side read → throttle → network →
 target-side write through a bounded buffer, as a streamed ``xtrabackup
 | pv | nc`` pipeline would be.
+
+Failure semantics (Zephyr-style): until the handover freeze begins,
+the migration can be aborted at any instant — the run process and all
+its pipeline children are interrupted, the half-built target replica
+is discarded, the source is thawed if frozen, and the tenant keeps
+serving at the source as if the migration never happened.  Once the
+handover has started the abort is refused: the target is (becoming)
+authoritative and cancelling would lose writes.  The phase attribute
+is a real state machine (:data:`_TRANSITIONS`); every run terminates
+in ``COMPLETE`` or ``ABORTED``.
 """
 
 from __future__ import annotations
@@ -25,10 +35,11 @@ from dataclasses import dataclass
 from typing import Callable, Generator, Optional
 
 from ..db.backup import DEFAULT_CHUNK_BYTES, HotBackup
-from ..db.engine import DatabaseEngine, FreezeMode
+from ..db.engine import DatabaseEngine, EngineState, FreezeMode
 from ..resources.server import Server
 from ..resources.units import KB
-from ..simulation import Container, Environment, Store
+from ..simulation import Container, Environment, Interrupt, Process, Store
+
 from .throttle import Throttle
 
 __all__ = [
@@ -60,6 +71,31 @@ class MigrationPhase(enum.Enum):
     HANDOVER = "handover"
     COMPLETE = "complete"
     ABORTED = "aborted"
+
+
+#: Legal phase transitions.  ``HANDOVER`` deliberately has no edge to
+#: ``ABORTED``: once the freeze begins the target is becoming
+#: authoritative and the migration must run to completion.
+_TRANSITIONS: dict[MigrationPhase, frozenset[MigrationPhase]] = {
+    MigrationPhase.PENDING: frozenset(
+        {MigrationPhase.SNAPSHOT, MigrationPhase.ABORTED}
+    ),
+    MigrationPhase.SNAPSHOT: frozenset(
+        {MigrationPhase.PREPARE, MigrationPhase.ABORTED}
+    ),
+    MigrationPhase.PREPARE: frozenset({MigrationPhase.DELTA, MigrationPhase.ABORTED}),
+    MigrationPhase.DELTA: frozenset(
+        {MigrationPhase.HANDOVER, MigrationPhase.ABORTED}
+    ),
+    MigrationPhase.HANDOVER: frozenset({MigrationPhase.COMPLETE}),
+    MigrationPhase.COMPLETE: frozenset(),
+    MigrationPhase.ABORTED: frozenset(),
+}
+
+#: Phases from which an abort is refused.
+_NO_ABORT_PHASES = frozenset(
+    {MigrationPhase.HANDOVER, MigrationPhase.COMPLETE, MigrationPhase.ABORTED}
+)
 
 
 @dataclass(frozen=True)
@@ -146,33 +182,102 @@ class LiveMigration:
         self.pipeline_depth = pipeline_depth
         self.on_handover = on_handover
         self.phase = MigrationPhase.PENDING
+        #: (time, phase) log of every transition, for post-mortems.
+        self.phase_history: list[tuple[float, MigrationPhase]] = []
         self.backup = HotBackup(env, source, chunk_bytes=chunk_bytes)
         self.target: Optional[DatabaseEngine] = None
+        #: True once an abort has rolled state back (source thawed and
+        #: authoritative, target discarded).
+        self.rolled_back = False
         self._abort_reason: Optional[str] = None
+        self._process: Optional[Process] = None
+        self._children: list[Process] = []
+        self._handover_done = False
+
+    @property
+    def abort_reason(self) -> Optional[str]:
+        return self._abort_reason
+
+    def _transition(self, phase: MigrationPhase) -> None:
+        if phase not in _TRANSITIONS[self.phase]:
+            raise RuntimeError(
+                f"illegal migration transition {self.phase.value} -> {phase.value}"
+            )
+        self.phase = phase
+        self.phase_history.append((self.env.now, phase))
+
+    def try_abort(self, reason: str = "cancelled") -> bool:
+        """Request an abort; returns whether it was accepted.
+
+        Accepted any time before the handover freeze: the run process
+        is interrupted at its current instant (even while blocked on a
+        fully-closed throttle), rolls the tenant back to a consistent
+        source-resident state, and raises :class:`MigrationAborted`.
+        Refused (returns ``False``) during ``HANDOVER`` and after
+        ``COMPLETE``/``ABORTED``.
+        """
+        if self.phase in _NO_ABORT_PHASES:
+            return False
+        if self._abort_reason is None:
+            self._abort_reason = reason
+        proc = self._process
+        if (
+            proc is not None
+            and proc.is_alive
+            and proc is not self.env.active_process
+        ):
+            proc.interrupt(reason)
+        return True
 
     def abort(self, reason: str = "operator cancelled") -> None:
         """Cancel the migration before handover.
 
-        Safe at any time: before the handover freeze the migration
-        raises :class:`MigrationAborted` at its next step and the
-        source stays authoritative; once the handover has begun (or
-        completed) the abort is refused — the target is (becoming)
-        authoritative and cancelling would lose writes.
+        Safe at any time before the handover freeze; once the handover
+        has begun (or completed) the abort is refused with
+        :class:`RuntimeError` — the target is (becoming) authoritative
+        and cancelling would lose writes.  Aborting an already-aborted
+        migration is a no-op.
         """
-        if self.phase in (MigrationPhase.HANDOVER, MigrationPhase.COMPLETE):
+        if self.phase is MigrationPhase.ABORTED:
+            return
+        if not self.try_abort(reason):
             raise RuntimeError(
                 f"cannot abort a migration in phase {self.phase.value}"
             )
-        self._abort_reason = reason
 
     def _check_abort(self) -> None:
-        if self._abort_reason is not None:
-            self.phase = MigrationPhase.ABORTED
-            if self.target is not None:
-                self.target.stop()  # discard the half-built replica
+        if self._abort_reason is not None and self.phase is not MigrationPhase.ABORTED:
+            self._rollback()
             raise MigrationAborted(self._abort_reason)
 
+    def _rollback(self) -> None:
+        """Restore a consistent source-resident state (synchronous)."""
+        active = self.env.active_process
+        for child in self._children:
+            if child.is_alive and child is not active:
+                child.interrupt("migration aborted")
+        self._children.clear()
+        if self.source.is_frozen:
+            self.source.thaw()
+        if self.target is not None and self.target.state is not EngineState.STOPPED:
+            self.target.stop()  # discard the half-built replica
+        self._transition(MigrationPhase.ABORTED)
+        self.rolled_back = True
+
     # -- pipeline pieces -----------------------------------------------------
+
+    def _spawn(self, gen: Generator) -> Process:
+        """Start a pipeline child that an abort can interrupt cleanly."""
+        proc = self.env.process(self._interruptible(gen))
+        self._children.append(proc)
+        return proc
+
+    def _interruptible(self, gen: Generator):
+        """Run ``gen``; exit quietly when the migration is aborted."""
+        try:
+            return (yield from gen)
+        except Interrupt:
+            return None
 
     def _make_target(self) -> DatabaseEngine:
         return DatabaseEngine(
@@ -206,7 +311,7 @@ class LiveMigration:
             snapshot.streamed_bytes += size
             is_last = snapshot.streamed_bytes >= snapshot.total_bytes
             in_flight.append(
-                self.env.process(self._ship_snapshot_chunk(snapshot, size, is_last, chunks))
+                self._spawn(self._ship_snapshot_chunk(snapshot, size, is_last, chunks))
             )
         for proc in in_flight:
             if proc.is_alive:
@@ -274,62 +379,81 @@ class LiveMigration:
     # -- the migration ---------------------------------------------------------
 
     def run(self) -> Generator:
-        """Process: run the full migration; returns the result record."""
+        """Process: run the full migration; returns the result record.
+
+        Terminates in exactly one of two ways: returns a
+        :class:`LiveMigrationResult` with phase ``COMPLETE``, or raises
+        :class:`MigrationAborted` with phase ``ABORTED`` after rolling
+        the tenant back to the source.
+        """
+        self._process = self.env.active_process
         started_at = self.env.now
-
-        # Step 1a: stream the snapshot (pipelined through a bounded buffer).
-        self.phase = MigrationPhase.SNAPSHOT
-        snapshot = self.backup.begin()
-        chunks = Store(self.env)
-        slots = Container(
-            self.env, capacity=self.pipeline_depth, init=self.pipeline_depth
-        )
-        stream = f"{self.source.name}:restore"
-        producer = self.env.process(
-            self._snapshot_producer(snapshot, chunks, slots)
-        )
-        consumer = self.env.process(self._snapshot_consumer(chunks, slots, stream))
-        yield self.env.all_of([producer, consumer])
-        self._check_abort()
-        snapshot_seconds = self.env.now - started_at
-
-        # Step 1b: prepare (crash recovery) on the target.
-        self.phase = MigrationPhase.PREPARE
-        prepare_started = self.env.now
-        self.target = self._make_target()
-        yield self.env.process(self.backup.prepare(snapshot, self.target))
-        self._check_abort()
-        prepare_seconds = self.env.now - prepare_started
-
-        # Step 2: delta rounds until the pending log is small enough.
-        self.phase = MigrationPhase.DELTA
-        rounds: list[DeltaRound] = []
-        while len(rounds) < self.max_delta_rounds:
+        try:
             self._check_abort()
-            pending = self.source.binlog.head_lsn - self.target.replicated_lsn
-            if pending <= self.delta_threshold:
-                break
-            round_result = yield self.env.process(
-                self._delta_round(len(rounds) + 1)
+
+            # Step 1a: stream the snapshot (pipelined through a bounded buffer).
+            self._transition(MigrationPhase.SNAPSHOT)
+            snapshot = self.backup.begin()
+            chunks = Store(self.env)
+            slots = Container(
+                self.env, capacity=self.pipeline_depth, init=self.pipeline_depth
             )
-            rounds.append(round_result)
-        self._check_abort()
+            stream = f"{self.source.name}:restore"
+            producer = self._spawn(self._snapshot_producer(snapshot, chunks, slots))
+            consumer = self._spawn(self._snapshot_consumer(chunks, slots, stream))
+            yield self.env.all_of([producer, consumer])
+            self._check_abort()
+            snapshot_seconds = self.env.now - started_at
+
+            # Step 1b: prepare (crash recovery) on the target.
+            self._transition(MigrationPhase.PREPARE)
+            prepare_started = self.env.now
+            self.target = self._make_target()
+            yield self._spawn(self.backup.prepare(snapshot, self.target))
+            self._check_abort()
+            prepare_seconds = self.env.now - prepare_started
+
+            # Step 2: delta rounds until the pending log is small enough.
+            self._transition(MigrationPhase.DELTA)
+            rounds: list[DeltaRound] = []
+            while len(rounds) < self.max_delta_rounds:
+                self._check_abort()
+                pending = self.source.binlog.head_lsn - self.target.replicated_lsn
+                if pending <= self.delta_threshold:
+                    break
+                round_result = yield self._spawn(self._delta_round(len(rounds) + 1))
+                rounds.append(round_result)
+            self._check_abort()
+        except Interrupt as interrupt:
+            reason = self._abort_reason or str(interrupt.cause or "interrupted")
+            self._abort_reason = reason
+            self._rollback()
+            raise MigrationAborted(reason) from None
 
         # Step 3: freeze-and-handover (sub-second; final delta unthrottled).
-        self.phase = MigrationPhase.HANDOVER
+        # Point of no return: aborts are refused from here on, so the
+        # source is never left frozen and the handover runs exactly once.
+        self._transition(MigrationPhase.HANDOVER)
         freeze_started = self.env.now
         self.source.freeze(FreezeMode.WRITES)
-        yield self.source.write_quiesced()
-        final_round = yield self.env.process(
-            self._delta_round(len(rounds) + 1, throttled=False)
-        )
-        rounds.append(final_round)
+        try:
+            yield self.source.write_quiesced()
+            final_round = yield self._spawn(
+                self._delta_round(len(rounds) + 1, throttled=False)
+            )
+            rounds.append(final_round)
+        except BaseException:
+            # Never leave the tenant frozen, whatever went wrong.
+            if self.source.is_frozen:
+                self.source.thaw()
+            raise
         downtime = self.env.now - freeze_started
-        if self.on_handover is not None:
+        if self.on_handover is not None and not self._handover_done:
+            self._handover_done = True
             self.on_handover(self.target)
         self.source.stop(successor=self.target)
 
-        self.phase = MigrationPhase.COMPLETE
+        self._transition(MigrationPhase.COMPLETE)
         return LiveMigrationResult(
             tenant=self.source.name,
             started_at=started_at,

@@ -45,6 +45,9 @@ class NodeLoad:
     #: Disk busy fraction over the interval, in [0, 1].
     disk_utilization: float
     tenants: tuple[TenantLoad, ...] = field(default_factory=tuple)
+    #: Whether the node's middleware daemon was up at snapshot time.
+    #: Placement policies must not pick a dead node as a target.
+    alive: bool = True
 
     @property
     def tenant_count(self) -> int:
@@ -121,9 +124,16 @@ class LoadMonitor:
                 time=now,
                 disk_utilization=min(1.0, max(0.0, utilization)),
                 tenants=tuple(sorted(tenants, key=lambda t: t.tenant_id)),
+                alive=getattr(node, "alive", True),
             )
         self.history.append(loads)
         return loads
+
+    def dead_nodes(self, loads: Optional[dict[str, NodeLoad]] = None) -> list[str]:
+        """Nodes whose daemon was down in the given (or latest) snapshot."""
+        if loads is None:
+            loads = self.history[-1] if self.history else {}
+        return sorted(name for name, load in loads.items() if not load.alive)
 
     def run(self):
         """Process: snapshot forever at the configured interval."""

@@ -1,0 +1,144 @@
+"""Chaos sweep: scenario outcomes, invariants, and replay determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CASE_STUDY
+from repro.experiments import chaos_sweep
+from repro.experiments.chaos_sweep import ChaosRecord, chaos_point
+from repro.experiments.common import scaled_config
+from repro.experiments.harness import MigrationSpec
+from repro.resources.units import mb_per_sec
+
+SCALE = 0.06
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return scaled_config(CASE_STUDY, SCALE, None)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return MigrationSpec.fixed(mb_per_sec(8))
+
+
+def run_point(cfg, spec, **kwargs):
+    kwargs.setdefault("warmup", 2.0)
+    kwargs.setdefault("run_limit", 120.0)
+    return chaos_point(cfg, spec, **kwargs)
+
+
+class TestScenarios:
+    def test_baseline_completes_clean(self, cfg, spec):
+        record = run_point(cfg, spec, label="baseline")
+        assert record.outcome == "completed"
+        assert record.ok, record.violations
+        assert record.completed == record.arrived or record.completed > 0
+        assert record.counter("messages_dropped") == 0
+        assert record.counter("faults_fates_drawn") == 0
+
+    def test_message_faults_still_complete_with_invariants(self, cfg, spec):
+        record = run_point(
+            cfg,
+            spec,
+            label="drop",
+            messages={"drop_prob": 0.15, "dup_prob": 0.1, "delay_prob": 0.2},
+        )
+        assert record.ok, record.violations
+        assert record.outcome in ("completed", "aborted")
+        assert record.counter("faults_fates_drawn") > 0
+
+    def test_crash_target_aborts_back_to_source(self, cfg, spec):
+        record = run_point(
+            cfg,
+            spec,
+            label="crash",
+            scheduled=({"at": 4.0, "kind": "crash_node", "node": "target"},),
+        )
+        assert record.outcome == "aborted"
+        assert "declared dead" in record.abort_reason
+        assert record.ok, record.violations
+        assert record.counter("source_peers_declared_dead") == 1
+
+    def test_abort_backup_rolls_back(self, cfg, spec):
+        record = run_point(
+            cfg,
+            spec,
+            label="abort",
+            scheduled=({"at": 4.0, "kind": "abort_backup", "node": "source"},),
+        )
+        assert record.outcome == "aborted"
+        assert record.ok, record.violations
+        assert record.counter("faults_backup_aborts") == 1
+        assert record.counter("source_migrations_aborted") == 1
+
+
+class TestReplayDeterminism:
+    def test_identical_fingerprints_on_rerun(self, cfg, spec):
+        kwargs = dict(
+            label="replay",
+            messages={"drop_prob": 0.2, "dup_prob": 0.1, "reorder_prob": 0.05},
+        )
+        first = run_point(cfg, spec, **kwargs)
+        second = run_point(cfg, spec, **kwargs)
+        assert first.fingerprint == second.fingerprint
+        assert first == second
+
+    def test_different_seed_different_fingerprint(self, cfg, spec):
+        kwargs = dict(label="seeded", messages={"drop_prob": 0.2})
+        first = run_point(cfg, spec, **kwargs)
+        second = run_point(cfg.with_seed(cfg.seed + 1), spec, **kwargs)
+        assert first.fingerprint != second.fingerprint
+
+
+class TestSweepDefinition:
+    def test_sweep_points_cover_scenarios(self):
+        points = chaos_sweep.sweep_points(scale=SCALE)
+        labels = [p.label for p in points]
+        assert labels[0] == "baseline"
+        assert "crash-target" in labels
+        assert "abort-backup" in labels
+        for point in points:
+            assert point.task == chaos_sweep.CHAOS_TASK
+            assert point.kwargs["label"] == point.label
+
+    def test_record_counter_lookup(self):
+        record = ChaosRecord(
+            label="x",
+            outcome="completed",
+            abort_reason="",
+            violations=(),
+            fingerprint="f",
+            counters=(("a", 1.0),),
+            completed=1,
+            arrived=1,
+            mean_latency=0.1,
+            sim_end=1.0,
+        )
+        assert record.ok and record.counter("a") == 1.0
+        with pytest.raises(KeyError):
+            record.counter("missing")
+
+    def test_table_renders_all_scenarios(self):
+        records = {
+            "baseline": ChaosRecord(
+                label="baseline",
+                outcome="completed",
+                abort_reason="",
+                violations=(),
+                fingerprint="f",
+                counters=(
+                    ("messages_dropped", 0.0),
+                    ("messages_dropped_dead", 0.0),
+                    ("messages_duplicated", 0.0),
+                ),
+                completed=10,
+                arrived=10,
+                mean_latency=0.08,
+                sim_end=30.0,
+            )
+        }
+        rendered = chaos_sweep.table(records).render()
+        assert "baseline" in rendered and "OK" in rendered

@@ -434,3 +434,125 @@ class TestImportTracker:
         tracker = ImportTracker.from_tree(tree)
         call = tree.body[1].value
         assert tracker.qualname(call.func) == "datetime.datetime.now"
+
+
+class TestSLK009UnboundedRetry:
+    def test_positive_retry_from_except_handler(self):
+        src = (
+            "def send_forever(sock, data):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            sock.send(data)\n"
+            "            return\n"
+            "        except OSError:\n"
+            "            continue\n"
+        )
+        assert "SLK009" in rule_ids(src)
+
+    def test_negative_attempt_counter_bounds_loop(self):
+        src = (
+            "def send_bounded(sock, data, max_attempts):\n"
+            "    attempt = 0\n"
+            "    while True:\n"
+            "        try:\n"
+            "            sock.send(data)\n"
+            "            return\n"
+            "        except OSError:\n"
+            "            attempt += 1\n"
+            "            if attempt >= max_attempts:\n"
+            "                raise\n"
+            "            continue\n"
+        )
+        assert "SLK009" not in rule_ids(src)
+
+    def test_negative_deadline_bounds_loop(self):
+        src = (
+            "def send_until(env, sock, data, deadline):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            sock.send(data)\n"
+            "            return\n"
+            "        except OSError:\n"
+            "            if env.now > deadline:\n"
+            "                raise\n"
+            "            continue\n"
+        )
+        assert "SLK009" not in rule_ids(src)
+
+    def test_negative_range_loop_is_bounded_by_construction(self):
+        src = (
+            "def send_retrying(sock, data, n):\n"
+            "    for attempt in range(n):\n"
+            "        try:\n"
+            "            sock.send(data)\n"
+            "            return\n"
+            "        except OSError:\n"
+            "            continue\n"
+            "    raise RuntimeError\n"
+        )
+        assert "SLK009" not in rule_ids(src)
+
+    def test_negative_continue_outside_except(self):
+        src = (
+            "def pump(queue):\n"
+            "    while True:\n"
+            "        item = queue.get()\n"
+            "        if item is None:\n"
+            "            continue\n"
+            "        queue.handle(item)\n"
+        )
+        assert "SLK009" not in rule_ids(src)
+
+    def test_negative_continue_in_nested_loop_belongs_to_it(self):
+        src = (
+            "def drain(conns):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            pass\n"
+            "        except OSError:\n"
+            "            for c in conns:\n"
+            "                if not c:\n"
+            "                    continue\n"
+            "            raise\n"
+        )
+        assert "SLK009" not in rule_ids(src)
+
+    def test_positive_jitter_constructs_fresh_rng(self):
+        src = (
+            "import random\n"
+            "def backoff_with_jitter(base):\n"
+            "    rng = random.Random()  # slackerlint: disable=SLK002\n"
+            "    return base + rng.random()\n"
+        )
+        assert "SLK009" in rule_ids(src)
+
+    def test_negative_jitter_from_passed_stream(self):
+        src = (
+            "def backoff_with_jitter(base, rng):\n"
+            "    return base + base * rng.random()\n"
+        )
+        assert "SLK009" not in rule_ids(src)
+
+    def test_scope_exempts_tests(self):
+        src = (
+            "def loop(sock):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            sock.send(b'x')\n"
+            "        except OSError:\n"
+            "            continue\n"
+        )
+        assert "SLK009" not in rule_ids(src, rel_path="tests/test_example.py")
+
+    def test_retry_scope_configurable(self):
+        src = (
+            "def loop(sock):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            sock.send(b'x')\n"
+            "        except OSError:\n"
+            "            continue\n"
+        )
+        config = LintConfig(retry_scope=("mypkg/",))
+        assert "SLK009" in rule_ids(src, rel_path="mypkg/net.py", config=config)
+        assert "SLK009" not in rule_ids(src, rel_path="src/repro/x.py", config=config)

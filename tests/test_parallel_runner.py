@@ -147,3 +147,59 @@ class TestHelpers:
         ) == point_key(
             points[0].task, points[0].config, points[0].spec, points[0].kwargs
         )
+
+
+class TestChaosSweepParallelEquivalence:
+    """Satellite of the fault-injection PR: chaos points — whose every
+    fault is drawn from seeded rng streams — must stay bit-identical
+    between jobs=1 and jobs=2, fingerprints included."""
+
+    @pytest.fixture(scope="class")
+    def chaos_points(self):
+        from repro.experiments import chaos_sweep
+
+        cfg = scaled_config(CASE_STUDY, 0.06, None)
+        spec = chaos_sweep.MigrationSpec.fixed(8e6)
+        kwargs = {"warmup": 2.0, "run_limit": 120.0}
+        return [
+            SweepPoint(
+                label="drop",
+                config=cfg,
+                spec=spec,
+                task=chaos_sweep.CHAOS_TASK,
+                kwargs={
+                    "label": "drop",
+                    "messages": {"drop_prob": 0.15, "dup_prob": 0.05},
+                    **kwargs,
+                },
+            ),
+            SweepPoint(
+                label="abort",
+                config=cfg,
+                spec=spec,
+                task=chaos_sweep.CHAOS_TASK,
+                kwargs={
+                    "label": "abort",
+                    "scheduled": (
+                        {"at": 4.0, "kind": "abort_backup", "node": "source"},
+                    ),
+                    **kwargs,
+                },
+            ),
+        ]
+
+    def test_chaos_records_bit_identical_across_jobs(self, chaos_points):
+        serial = SweepRunner(jobs=1).run(chaos_points)
+        parallel = SweepRunner(jobs=2).run(chaos_points)
+        assert serial == parallel  # frozen dataclasses: full equality
+        for record in serial:
+            assert record.ok, record.violations
+
+    def test_chaos_fingerprint_replays_within_process(self, chaos_points):
+        from repro.parallel.tasks import execute
+
+        point = chaos_points[0]
+        first = execute(point.task, point.config, point.spec, point.kwargs)
+        again = execute(point.task, point.config, point.spec, point.kwargs)
+        assert first.fingerprint == again.fingerprint
+        assert first == again

@@ -173,3 +173,90 @@ def test_migrate_request_roundtrip(tenant_id, node, setpoint, rate):
     )
     decoded, _ = decode_message(encode_message(message))
     assert decoded == message
+
+
+# -- decode hardening (fuzz + crafted malformed frames) -----------------------
+
+_SAMPLES = [
+    CreateTenantRequest(tenant_id=1, data_bytes=1 << 30, buffer_bytes=1 << 27),
+    CreateTenantReply(tenant_id=1, port=4001, ok=True),
+    DeleteTenantRequest(tenant_id=9),
+    MigrateTenantRequest(tenant_id=5, target_node="xyz", fixed_rate=8e6),
+    MigrateTenantComplete(tenant_id=5, duration=12.5, downtime=0.2, bytes_moved=1 << 27),
+    Heartbeat(node="source", tenant_count=3, disk_utilization=0.42),
+]
+
+
+class TestDecodeHardening:
+    """Malformed wire data must raise ProtocolError — never KeyError,
+    struct.error, UnicodeDecodeError, or TypeError."""
+
+    def test_every_strict_prefix_raises(self):
+        for message in _SAMPLES:
+            data = encode_message(message)
+            for cut in range(len(data)):
+                with pytest.raises(ProtocolError):
+                    decode_message(data[:cut])
+
+    def test_unknown_msg_id(self):
+        with pytest.raises(ProtocolError, match="unknown MSG_ID"):
+            decode_message(encode_varint(999) + encode_varint(0))
+
+    def test_missing_required_fields(self):
+        # Valid frame syntax, empty body: required fields never arrive.
+        with pytest.raises(ProtocolError, match="incomplete"):
+            decode_message(encode_varint(1) + encode_varint(0))
+
+    def test_invalid_utf8_in_string_field(self):
+        body = bytes([1 << 3 | 2, 2, 0xFF, 0xFE])  # Heartbeat.node = invalid utf-8
+        with pytest.raises(ProtocolError, match="utf-8"):
+            decode_message(encode_varint(9) + encode_varint(len(body)) + body)
+
+    def test_truncated_fixed64_within_body(self):
+        body = bytes([3 << 3 | 1, 1, 2, 3, 4])  # fixed64 tag + only 4 bytes
+        with pytest.raises(ProtocolError, match="fixed64"):
+            decode_message(encode_varint(9) + encode_varint(len(body)) + body)
+
+    def test_overlong_length_delimited_field(self):
+        body = bytes([1 << 3 | 2, 100, 0x61])  # claims 100 bytes, has 1
+        with pytest.raises(ProtocolError, match="length-delimited"):
+            decode_message(encode_varint(9) + encode_varint(len(body)) + body)
+
+    def test_truncated_unknown_field_skip(self):
+        # Field number 15 is unknown to Heartbeat; its bytes payload
+        # claims more data than the body holds, so the skip must raise.
+        body = bytes([15 << 3 | 2, 50, 0x61, 0x62])
+        with pytest.raises(ProtocolError, match="length-delimited"):
+            decode_message(encode_varint(9) + encode_varint(len(body)) + body)
+
+    def test_unsupported_wire_type(self):
+        body = bytes([1 << 3 | 5, 0])  # wire type 5 (fixed32) unsupported
+        with pytest.raises(ProtocolError, match="wire type"):
+            decode_message(encode_varint(9) + encode_varint(len(body)) + body)
+
+    def test_corrupted_byte_still_typed_error(self):
+        data = bytearray(encode_message(_SAMPLES[-1]))
+        for index in range(len(data)):
+            corrupted = bytes(data[:index]) + bytes([data[index] ^ 0xFF]) + bytes(
+                data[index + 1 :]
+            )
+            try:
+                decode_message(corrupted)
+            except ProtocolError:
+                pass  # typed failure is the contract
+
+    @given(st.binary(max_size=300))
+    def test_fuzz_decode_returns_or_raises_protocol_error(self, data):
+        try:
+            message, consumed = decode_message(data)
+        except ProtocolError:
+            return
+        assert type(message) in MESSAGE_REGISTRY.values()
+        assert 0 < consumed <= len(data)
+
+    @given(st.binary(max_size=60))
+    def test_fuzz_valid_frame_with_junk_suffix(self, junk):
+        wire = encode_message(_SAMPLES[0])
+        message, consumed = decode_message(wire + junk)
+        assert message == _SAMPLES[0]
+        assert consumed == len(wire)
