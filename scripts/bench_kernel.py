@@ -16,7 +16,13 @@ Usage::
 
     python scripts/bench_kernel.py [--scale 0.5] [--jobs 4]
                                    [--events 200000] [--out BENCH_kernel.json]
-                                   [--skip-sweep]
+                                   [--skip-sweep] [--gate-pct 3]
+
+With ``--gate-pct N`` the run also *gates*: after appending its record
+it compares kernel events/sec against the most recent prior record in
+the trajectory file and exits non-zero if throughput dropped by more
+than N percent.  The benchmark runs with observability disabled, so
+this is the backstop that keeps the obs layer's no-op path free.
 """
 
 from __future__ import annotations
@@ -112,6 +118,26 @@ def bench_sweep(scale: float, jobs: int) -> dict:
     }
 
 
+def latest_kernel_rate(path: Path) -> float | None:
+    """Events/sec from the most recent record in the trajectory file.
+
+    Returns ``None`` when there is no usable prior record (first run,
+    missing file, corrupt JSON) so a fresh checkout never fails a gate
+    it has no baseline for.
+    """
+    if not path.is_file():
+        return None
+    try:
+        trajectory = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        return None
+    for run in reversed(trajectory.get("runs", [])):
+        rate = run.get("kernel", {}).get("events_per_sec")
+        if isinstance(rate, (int, float)) and rate > 0:
+            return float(rate)
+    return None
+
+
 def append_record(path: Path, record: dict) -> dict:
     """Append ``record`` to the trajectory file at ``path``."""
     if path.is_file():
@@ -140,7 +166,16 @@ def main() -> None:
                         help="only run the kernel microbench")
     parser.add_argument("--note", default=None,
                         help="free-form label stored with the record")
+    parser.add_argument("--gate-pct", type=float, default=None,
+                        help="fail if kernel events/sec regresses more "
+                             "than this percentage vs the latest prior "
+                             "record in --out")
     args = parser.parse_args()
+
+    baseline = (
+        latest_kernel_rate(Path(args.out))
+        if args.gate_pct is not None else None
+    )
 
     kernel = bench_kernel(total_events=args.events)
     print(
@@ -170,6 +205,22 @@ def main() -> None:
 
     append_record(Path(args.out), record)
     print(f"appended to {args.out}")
+
+    if args.gate_pct is not None:
+        if baseline is None:
+            print(f"gate: no prior record in {args.out}, nothing to compare")
+        else:
+            drop_pct = 100.0 * (baseline - kernel["events_per_sec"]) / baseline
+            print(
+                f"gate: {kernel['events_per_sec']:,} vs baseline "
+                f"{baseline:,.0f} events/sec ({drop_pct:+.1f}% drop, "
+                f"limit {args.gate_pct:g}%)"
+            )
+            if drop_pct > args.gate_pct:
+                raise SystemExit(
+                    f"kernel throughput regressed {drop_pct:.1f}% "
+                    f"(> {args.gate_pct:g}% allowed)"
+                )
 
 
 if __name__ == "__main__":

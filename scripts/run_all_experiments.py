@@ -71,11 +71,19 @@ def main() -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute every sweep point (skip the "
                              "on-disk result cache)")
+    parser.add_argument("--obs", action="store_true",
+                        help="attach the observability runtime to drivers "
+                             "that support it; RunReports and span traces "
+                             "land in <out>/obs/ (results are bit-identical "
+                             "either way)")
     args = parser.parse_args()
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     cache = None if args.no_cache else ResultCache(out_dir / ".sweep-cache")
+    obs_dir = out_dir / "obs"
+    if args.obs:
+        obs_dir.mkdir(parents=True, exist_ok=True)
 
     ids = args.only or list(REGISTRY)
     for experiment_id in ids:
@@ -88,6 +96,10 @@ def main() -> None:
             kwargs["jobs"] = args.jobs
         if "cache" in parameters:
             kwargs["cache"] = cache
+        if args.obs and "obs_dir" in parameters:
+            kwargs["obs_dir"] = str(obs_dir)
+        if args.obs and "observe" in parameters:
+            kwargs["observe"] = True
         result = module.run(**kwargs)
         elapsed = _walltime() - started
 

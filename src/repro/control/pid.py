@@ -94,6 +94,9 @@ class VelocityPidController:
         self._e1: Optional[float] = None  # e_{t-1}
         self._e2: Optional[float] = None  # e_{t-2}
         self.steps = 0
+        #: Error computed by the most recent :meth:`update` (None before
+        #: the first step) — read by the observability layer.
+        self.last_error: Optional[float] = None
 
     @property
     def output(self) -> float:
@@ -119,10 +122,26 @@ class VelocityPidController:
         self._output = _clamp(self._output + delta, self.output_min, self.output_max)
         self._e2, self._e1 = e1, e
         self.steps += 1
+        self.last_error = e
         return self._output
 
     def set_setpoint(self, setpoint: float) -> None:
-        """Retarget the controller (error history is kept)."""
+        """Retarget the controller without a derivative kick.
+
+        The stored error history is *rebased* onto the new setpoint:
+        since e = setpoint - pv, shifting every remembered error by the
+        setpoint change keeps the (e - e1) and (e - 2*e1 + e2)
+        differences exactly what the process variable alone produced.
+        Without the rebase, the next update would see the whole setpoint
+        step as a one-timestep error jump and the Kp/Kd terms would
+        inject a spurious output spike ("derivative kick"); rebased,
+        a retarget alone changes the output only through the Ki term.
+        """
+        shift = setpoint - self.setpoint
+        if self._e1 is not None:
+            self._e1 += shift
+        if self._e2 is not None:
+            self._e2 += shift
         self.setpoint = setpoint
 
     def set_output(self, output: float) -> None:
@@ -135,6 +154,7 @@ class VelocityPidController:
         self._e1 = None
         self._e2 = None
         self.steps = 0
+        self.last_error = None
 
 
 class PositionalPidController:
@@ -170,6 +190,9 @@ class PositionalPidController:
         self._e1: Optional[float] = None
         self._output = output_min
         self.steps = 0
+        #: Error computed by the most recent :meth:`update` (None before
+        #: the first step) — read by the observability layer.
+        self.last_error: Optional[float] = None
 
     @property
     def output(self) -> float:
@@ -205,6 +228,7 @@ class PositionalPidController:
         self._output = _clamp(raw, self.output_min, self.output_max)
         self._e1 = e
         self.steps += 1
+        self.last_error = e
         return self._output
 
     def set_setpoint(self, setpoint: float) -> None:
@@ -217,3 +241,4 @@ class PositionalPidController:
         self._e1 = None
         self._output = self.output_min
         self.steps = 0
+        self.last_error = None

@@ -52,7 +52,11 @@ class LatencyWindow:
         """
         values: list[float] = []
         for series in self.series:
-            values.extend(series.window_values(now - self.window, now + 1e-12))
+            # Closed window [now - window, now]: a transaction that
+            # completes exactly at the sampling instant counts.
+            values.extend(
+                series.window_values(now - self.window, now, closed="both")
+            )
         if values:
             self._last_value = sum(values) / len(values)
         return self._last_value

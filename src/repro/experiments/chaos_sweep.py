@@ -31,6 +31,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import os
 import sys
 from dataclasses import dataclass
 from typing import Optional
@@ -41,6 +42,7 @@ from ..db.engine import EngineState
 from ..faults import FaultInjector, FaultPlan, MessageFaults, ScheduledFault
 from ..middleware.tenant import TenantStatus
 from ..migration.live import MigrationAborted
+from ..obs import Observability, RunReport
 from ..parallel import SweepPoint, SweepRunner
 from ..resources.units import mb_per_sec
 from ..simulation import RandomStreams, Trace
@@ -73,6 +75,11 @@ class ChaosRecord:
     arrived: int
     mean_latency: float
     sim_end: float
+    #: Observability snapshot when the point ran with ``observe=True``.
+    #: Deliberately *excluded* from ``fingerprint``: the fingerprint
+    #: hashes the simulated trajectory, which must not change whether
+    #: or not anyone was watching.
+    report: Optional[RunReport] = None
 
     @property
     def ok(self) -> bool:
@@ -106,11 +113,15 @@ def chaos_point(
     heartbeat_interval: float = 0.5,
     detector_interval: float = 0.5,
     miss_threshold: float = 3.0,
+    observe: bool = False,
 ) -> ChaosRecord:
     """One chaos run: hardened cluster + fault plan + invariant checks.
 
     ``messages`` and ``scheduled`` are plain dicts/dict-tuples (so sweep
     points pickle); they are rehydrated into a :class:`FaultPlan` here.
+    ``observe=True`` attaches the observability runtime and fills
+    ``record.report`` — without changing the fingerprint, since
+    observation is read-only.
     """
     plan = _plan_from_kwargs(messages, tuple(scheduled))
     streams = RandomStreams(config.seed)
@@ -118,6 +129,7 @@ def chaos_point(
     env = cluster.env
     trace = Trace()
     injector = FaultInjector(env, plan, streams).attach(cluster)
+    obs = Observability(env).attach(cluster) if observe else None
 
     source = cluster.node("source")
     target = cluster.node("target")
@@ -193,6 +205,7 @@ def chaos_point(
         arrived=client.stats.arrived,
         mean_latency=series.mean() if len(series) else 0.0,
         sim_end=env.now,
+        report=obs.run_report(config, spec) if obs is not None else None,
     )
 
 
@@ -251,10 +264,12 @@ def sweep_points(
     scale: float = 0.125,
     seed: Optional[int] = None,
     rate_mb: int = 8,
+    observe: bool = False,
 ) -> list[SweepPoint]:
     """The chaos scenarios as independent sweep points."""
     cfg = scaled_config(config or CASE_STUDY, scale, seed)
     spec = MigrationSpec.fixed(mb_per_sec(rate_mb))
+    extra = {"observe": True} if observe else {}
 
     def point(label: str, **kwargs) -> SweepPoint:
         return SweepPoint(
@@ -262,7 +277,7 @@ def sweep_points(
             config=cfg,
             spec=spec,
             task=CHAOS_TASK,
-            kwargs={"label": label, **kwargs},
+            kwargs={"label": label, **extra, **kwargs},
         )
 
     return [
@@ -308,10 +323,13 @@ def run(
     config: Optional[ExperimentConfig] = None,
     seed: Optional[int] = None,
     jobs: int = 1,
+    observe: bool = False,
 ) -> dict[str, ChaosRecord]:
     """Run all chaos scenarios; records keyed by scenario label."""
     runner = SweepRunner(jobs=jobs)
-    return runner.run_labelled(sweep_points(config, scale=scale, seed=seed))
+    return runner.run_labelled(
+        sweep_points(config, scale=scale, seed=seed, observe=observe)
+    )
 
 
 def table(records: dict[str, ChaosRecord]) -> Table:
@@ -346,16 +364,31 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - CLI
         help="exit non-zero if any invariant is violated or replay diverges",
     )
     parser.add_argument("--out", type=str, default=None, help="write JSON report")
+    parser.add_argument(
+        "--obs-out",
+        type=str,
+        default=None,
+        help="run with observability attached and write one "
+        "<label>.report.json per scenario into this directory",
+    )
     args = parser.parse_args(argv)
 
-    records = run(scale=args.scale, seed=args.seed, jobs=args.jobs)
+    observe = args.obs_out is not None
+    records = run(scale=args.scale, seed=args.seed, jobs=args.jobs, observe=observe)
     print(table(records).render())
+
+    if args.obs_out:
+        os.makedirs(args.obs_out, exist_ok=True)
+        for label, rec in records.items():
+            if rec.report is not None:
+                rec.report.write(os.path.join(args.obs_out, f"{label}.report.json"))
 
     replay_ok = True
     if args.check:
         # Replay serially and compare fingerprints: the whole sweep must
-        # be a pure function of (seed, plan), regardless of job count.
-        replay = run(scale=args.scale, seed=args.seed, jobs=1)
+        # be a pure function of (seed, plan), regardless of job count —
+        # and of whether observability was attached.
+        replay = run(scale=args.scale, seed=args.seed, jobs=1, observe=False)
         for label, rec in records.items():
             if replay[label].fingerprint != rec.fingerprint:
                 replay_ok = False

@@ -18,6 +18,7 @@ Run standalone::
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -120,10 +121,29 @@ def run(
     seed: Optional[int] = None,
     setpoint: float = DEFAULT_SETPOINT,
     warmup: float = 20.0,
+    obs_dir: Optional[str] = None,
 ) -> Fig12Result:
-    """Run the Figure 12 dynamic migration and analyse its series."""
+    """Run the Figure 12 dynamic migration and analyse its series.
+
+    ``obs_dir`` enables the observability runtime and writes
+    ``fig12.report.json`` plus the span trace ``fig12.trace.jsonl``
+    into that directory; the measured series are bit-identical either
+    way (observation is read-only).
+    """
     cfg = scaled_config(config or EVALUATION, scale, seed)
-    outcome = run_single_tenant(cfg, MigrationSpec.dynamic(setpoint), warmup=warmup)
+    trace_path = None
+    if obs_dir is not None:
+        os.makedirs(obs_dir, exist_ok=True)
+        trace_path = os.path.join(obs_dir, "fig12.trace.jsonl")
+    outcome = run_single_tenant(
+        cfg,
+        MigrationSpec.dynamic(setpoint),
+        warmup=warmup,
+        observe=obs_dir is not None,
+        obs_trace_path=trace_path,
+    )
+    if obs_dir is not None and outcome.run_report is not None:
+        outcome.run_report.write(os.path.join(obs_dir, "fig12.report.json"))
     throttle = outcome.throttle_series
     latency = outcome.controller_latency_series
     # Correlate throttle and latency over the *steady-state* window
@@ -152,9 +172,28 @@ def run(
 
 
 def main() -> None:  # pragma: no cover - CLI entry point
+    import argparse
+
     from ..analysis.plot import ascii_chart
 
-    result = run()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="database scale factor (1.0 = paper-sized run)",
+    )
+    parser.add_argument(
+        "--obs",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="attach the observability runtime; write fig12.report.json "
+        "and fig12.trace.jsonl into DIR",
+    )
+    args = parser.parse_args()
+
+    result = run(scale=args.scale, obs_dir=args.obs)
     print(result.table().render())
     print()
     print(

@@ -27,6 +27,7 @@ from ..migration.stop_and_copy import (
     StopAndCopyMigration,
     StopAndCopyResult,
 )
+from ..obs import Observability, RunReport
 from ..simulation import Environment, RandomStreams, Series, Trace
 from ..workload.client import BenchmarkClient
 from ..workload.distributions import (
@@ -198,6 +199,8 @@ class ExperimentOutcome(PooledLatencyStats):
     throttle_series: Optional[Series] = None
     controller_latency_series: Optional[Series] = None
     extras: dict = field(default_factory=dict)
+    #: Metrics/span snapshot when the run was observed (``observe=True``).
+    run_report: Optional[RunReport] = None
 
     @property
     def average_migration_rate(self) -> float:
@@ -336,6 +339,8 @@ def run_single_tenant(
     baseline_duration: float = 180.0,
     rate_change: Optional[RateChange] = None,
     on_setup: Optional[Callable] = None,
+    observe: bool = False,
+    obs_trace_path: Optional[str] = None,
 ) -> ExperimentOutcome:
     """Run the paper's fundamental case: one tenant, one migration.
 
@@ -347,11 +352,16 @@ def run_single_tenant(
     * ``rate_change`` applies a mid-window arrival-rate change
       (Figure 13a).
     * ``on_setup(cluster, tenant, client)`` allows tests to customize.
+    * ``observe`` attaches an :class:`~repro.obs.Observability` runtime
+      and fills ``outcome.run_report``; ``obs_trace_path`` additionally
+      writes the span trace as JSONL.  Observation is read-only, so the
+      measured trajectories are bit-identical either way.
     """
     streams = RandomStreams(config.seed)
     cluster = _build_cluster(config, streams)
     env = cluster.env
     trace = Trace()
+    obs = Observability(env).attach(cluster) if observe else None
 
     source = cluster.node("source")
     tenant = source.create_tenant(
@@ -405,6 +415,13 @@ def run_single_tenant(
             throttle_series = source.trace[f"{name}:throttle_rate"]
             controller_series = source.trace[f"{name}:window_latency"]
 
+    run_report = None
+    if obs is not None:
+        if obs_trace_path is not None:
+            obs.finish()
+            obs.tracer.write_jsonl(obs_trace_path)
+        run_report = obs.run_report(config, spec, trace_path=obs_trace_path)
+
     return ExperimentOutcome(
         config=config,
         spec=spec,
@@ -422,6 +439,7 @@ def run_single_tenant(
         throttle_series=throttle_series,
         controller_latency_series=controller_series,
         extras=outcome_extras,
+        run_report=run_report,
     )
 
 
@@ -434,6 +452,8 @@ def run_multi_tenant(
     cooldown: float = 5.0,
     baseline_duration: float = 120.0,
     per_tenant_rate: Optional[Sequence[float]] = None,
+    observe: bool = False,
+    obs_trace_path: Optional[str] = None,
 ) -> ExperimentOutcome:
     """The Figure 13b scenario: N tenants, one migrates, all measured.
 
@@ -452,6 +472,7 @@ def run_multi_tenant(
     cluster = _build_cluster(config, streams)
     env = cluster.env
     trace = Trace()
+    obs = Observability(env).attach(cluster) if observe else None
     source = cluster.node("source")
 
     if per_tenant_rate is None:
@@ -520,6 +541,13 @@ def run_multi_tenant(
             throttle_series = source.trace[f"{name}:throttle_rate"]
             controller_series = source.trace[f"{name}:window_latency"]
 
+    run_report = None
+    if obs is not None:
+        if obs_trace_path is not None:
+            obs.finish()
+            obs.tracer.write_jsonl(obs_trace_path)
+        run_report = obs.run_report(config, spec, trace_path=obs_trace_path)
+
     return ExperimentOutcome(
         config=config,
         spec=spec,
@@ -537,4 +565,5 @@ def run_multi_tenant(
         migration=migration_result,
         throttle_series=throttle_series,
         controller_latency_series=controller_series,
+        run_report=run_report,
     )

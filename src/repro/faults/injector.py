@@ -86,6 +86,10 @@ class FaultInjector:
         self.stats = FaultStats()
         self._down: set[str] = set()
         self.cluster = None
+        #: Optional :class:`~repro.obs.Observability`, set by
+        #: ``Observability.attach``; ``None`` keeps fault paths free of
+        #: metric updates.
+        self.obs = None
 
     def attach(self, cluster) -> "FaultInjector":
         """Hook the plan into a :class:`SlackerCluster`; returns self.
@@ -113,6 +117,8 @@ class FaultInjector:
         rng = self._rng
         self.stats.fates_drawn += 1
         if mf.drop_prob > 0 and rng.random() < mf.drop_prob:
+            if self.obs is not None:
+                self.obs.fault_activations.inc()
             return MessageFate(drop=True)
         duplicate = mf.dup_prob > 0 and rng.random() < mf.dup_prob
         delay = 0.0
@@ -124,6 +130,8 @@ class FaultInjector:
             delay = mf.reorder_delay
         if not duplicate and delay <= 0.0:
             return None
+        if self.obs is not None:
+            self.obs.fault_activations.inc()
         return MessageFate(duplicate=duplicate, delay=delay)
 
     # -- scheduled faults --------------------------------------------------
@@ -135,6 +143,8 @@ class FaultInjector:
 
     def _run_scheduled(self, fault: ScheduledFault):
         yield self.env.timeout(fault.at)
+        if self.obs is not None:
+            self.obs.on_scheduled_fault(fault)
         kind = fault.kind
         if kind == "crash_node":
             yield from self._crash(fault)

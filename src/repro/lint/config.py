@@ -47,6 +47,9 @@ class LintConfig:
     #: Path prefixes where the bounded-retry rule (SLK009) applies;
     #: empty disables the rule.
     retry_scope: tuple[str, ...] = ("repro/",)
+    #: Path prefixes where the metric/span naming rule (SLK010) applies;
+    #: empty disables the rule.
+    obs_scope: tuple[str, ...] = ("repro/", "scripts/")
 
     def with_extra_disabled(self, rule_ids: tuple[str, ...]) -> "LintConfig":
         merged = tuple(dict.fromkeys(self.disable + rule_ids))
@@ -56,6 +59,7 @@ class LintConfig:
             units_scope=self.units_scope,
             worker_scope=self.worker_scope,
             retry_scope=self.retry_scope,
+            obs_scope=self.obs_scope,
         )
 
 
@@ -75,6 +79,7 @@ def _config_from_table(table: dict) -> LintConfig:
         units_scope=_str_tuple("units_scope", defaults.units_scope),
         worker_scope=_str_tuple("worker_scope", defaults.worker_scope),
         retry_scope=_str_tuple("retry_scope", defaults.retry_scope),
+        obs_scope=_str_tuple("obs_scope", defaults.obs_scope),
     )
 
 

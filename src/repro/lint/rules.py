@@ -23,6 +23,7 @@ __all__ = [
     "WallClockCallbackRule",
     "SharedModuleStateRule",
     "UnboundedRetryRule",
+    "DynamicMetricNameRule",
 ]
 
 #: Call targets that read the wall clock (dotted names after import
@@ -610,3 +611,64 @@ class UnboundedRetryRule(Rule):
                     "seeds break bit-identical replay; draw from a "
                     "simulation.rng stream passed in by the caller",
                 )
+
+
+#: Methods on observability objects whose first argument is an
+#: instrument or span name.
+_OBS_NAMING_METHODS = frozenset(
+    {"counter", "gauge", "histogram", "span", "begin", "event"}
+)
+
+#: Receiver names (variable or attribute) treated as observability
+#: handles; keeps the rule from firing on unrelated `.event(...)` calls.
+_OBS_RECEIVERS = frozenset({"registry", "tracer", "obs", "metrics"})
+
+
+@register
+class DynamicMetricNameRule(Rule):
+    """SLK010: metric/span names must be registered module-level constants.
+
+    An f-string (or any expression built at the call site) as a metric
+    or span name means string formatting on the hot path *and* an
+    unbounded, undiscoverable name space — two different call sites can
+    silently emit `"migration_phase"` and `"migration.phase"`.  Names
+    must be constants from :mod:`repro.obs.names` (or an equally
+    constant module-level reference); per-entity cardinality goes
+    through the ``suffix=`` keyword, which keeps the *name* constant.
+    """
+
+    id = "SLK010"
+    summary = "metric/span name built at the call site instead of a constant"
+
+    def applies_to(self, rel_path: str) -> bool:
+        scope = self.ctx.config.obs_scope
+        return any(
+            rel_path.startswith(prefix) or f"/{prefix}" in f"/{rel_path}"
+            for prefix in scope
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _OBS_NAMING_METHODS
+            and self._receiver_is_obs(func.value)
+            and node.args
+        ):
+            name_arg = node.args[0]
+            if not isinstance(name_arg, (ast.Name, ast.Attribute)):
+                self.report(
+                    name_arg,
+                    f"`.{func.attr}(...)` name is built at the call site — "
+                    "reference a module-level constant (repro.obs.names) "
+                    "instead; per-entity labels go through suffix=",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _receiver_is_obs(receiver: ast.expr) -> bool:
+        if isinstance(receiver, ast.Name):
+            return receiver.id in _OBS_RECEIVERS
+        if isinstance(receiver, ast.Attribute):
+            return receiver.attr in _OBS_RECEIVERS
+        return False

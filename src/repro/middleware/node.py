@@ -156,6 +156,10 @@ class SlackerNode:
         self.endpoint = bus.endpoint(self.name)
         self.registry = TenantRegistry()
         self.stats = NodeStats()
+        #: Optional :class:`~repro.obs.Observability`, set by
+        #: ``Observability.attach``; threaded into every migration and
+        #: dynamic-throttle controller this node starts.
+        self.obs = None
         #: False while the middleware daemon is crashed (fail-stop).
         self.alive = True
         #: Peer directory, set by the cluster after all nodes exist.
@@ -334,6 +338,7 @@ class SlackerNode:
             throttle,
             chunk_bytes=self.config.chunk_bytes,
             on_handover=lambda engine: self._handover(tenant, peer, engine),
+            obs=self.obs,
         )
         self.active_migrations[tenant_id] = migration
         migration_proc = self.env.process(migration.run())
@@ -377,6 +382,7 @@ class SlackerNode:
                 controller=pid,
                 trace=self.trace,
                 name=f"{self.name}:mig-{tenant_id}",
+                obs=self.obs,
             )
             self.env.process(controller.run(until=migration_proc))
 

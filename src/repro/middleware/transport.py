@@ -133,6 +133,9 @@ class Endpoint:
         :class:`RetryPolicy`).
         """
         self.sent += 1
+        obs = self.bus.obs
+        if obs is not None:
+            obs.transport_sends.inc()
         policy = self.bus.retry_policy
         if policy is None:
             # Fast path: byte-identical to the historical behaviour —
@@ -141,8 +144,12 @@ class Endpoint:
             if not delivered:
                 self.failed += 1
                 self.bus.send_failures += 1
+                if obs is not None:
+                    obs.transport_failures.inc()
                 raise DeliveryError(self.name, recipient, "message dropped")
             self.delivered += 1
+            if obs is not None:
+                obs.transport_delivered.inc()
             return True
 
         env = self.bus.env
@@ -150,6 +157,8 @@ class Endpoint:
             if attempt:
                 self.retries += 1
                 self.bus.send_retries += 1
+                if obs is not None:
+                    obs.transport_retries.inc()
                 yield env.timeout(policy.backoff(attempt, self.bus.jitter_rng))
             delivery = env.process(self.bus.deliver(self.name, recipient, message))
             deadline = env.timeout(policy.timeout)
@@ -157,6 +166,8 @@ class Endpoint:
             if delivery.triggered:
                 if delivery.value:
                     self.delivered += 1
+                    if obs is not None:
+                        obs.transport_delivered.inc()
                     return True
                 # Dropped: back off and retry.
             else:
@@ -165,8 +176,12 @@ class Endpoint:
                 # handlers must (and do) tolerate.
                 self.timeouts += 1
                 self.bus.send_timeouts += 1
+                if obs is not None:
+                    obs.transport_timeouts.inc()
         self.failed += 1
         self.bus.send_failures += 1
+        if obs is not None:
+            obs.transport_failures.inc()
         raise DeliveryError(
             self.name, recipient, f"gave up after {policy.max_attempts} attempts"
         )
@@ -193,6 +208,9 @@ class MessageBus:
         #: Optional fault injector (see :mod:`repro.faults`); ``None``
         #: keeps delivery fault-free with zero overhead.
         self.faults = None
+        #: Optional :class:`~repro.obs.Observability`; ``None`` keeps
+        #: the send/deliver paths free of metric updates.
+        self.obs = None
         #: Optional delivery policy for :meth:`Endpoint.send`.
         self.retry_policy = retry_policy
         #: Seeded RNG for backoff jitter (from ``RandomStreams``).
@@ -253,6 +271,8 @@ class MessageBus:
         if faults is not None and faults.is_down(sender):
             # A crashed middleware daemon sends nothing.
             self.messages_dropped_dead += 1
+            if self.obs is not None:
+                self.obs.transport_drops.inc()
             return False
 
         sender_server = self.nics.get(sender)
@@ -266,6 +286,8 @@ class MessageBus:
             if fate is not None:
                 if fate.drop:
                     self.messages_dropped += 1
+                    if self.obs is not None:
+                        self.obs.transport_drops.inc()
                     return False
                 if fate.delay > 0:
                     self.messages_delayed += 1
@@ -274,6 +296,8 @@ class MessageBus:
             if faults.is_down(recipient):
                 # Arrived at a crashed daemon: nobody is listening.
                 self.messages_dropped_dead += 1
+                if self.obs is not None:
+                    self.obs.transport_drops.inc()
                 return False
 
         if recipient_server is not None:

@@ -98,6 +98,7 @@ class DynamicThrottleController:
         controller: Optional[LatencyController] = None,
         trace: Optional[Trace] = None,
         name: str = "slacker-controller",
+        obs=None,
     ):
         if not windows:
             raise ValueError("need at least one latency window")
@@ -107,6 +108,9 @@ class DynamicThrottleController:
         self.config = config
         self.trace = trace
         self.name = name
+        #: Optional :class:`~repro.obs.Observability`; ``None`` keeps
+        #: the step loop free of metric updates.
+        self.obs = obs
         # The PID works in (ms error -> percent output) space, per paper.
         self.controller: LatencyController = controller or VelocityPidController(
             config.gains,
@@ -170,6 +174,12 @@ class DynamicThrottleController:
                 rate = output_pct / 100.0 * self.config.max_rate
                 self.throttle.set_rate(rate)
                 self.steps += 1
+                if self.obs is not None:
+                    self.obs.on_controller_step(
+                        self.controller.setpoint - to_millis(latency),
+                        output_pct,
+                        rate,
+                    )
                 if self.trace is not None:
                     now = self.env.now
                     self.trace.record(f"{self.name}:window_latency", now, latency)

@@ -165,6 +165,7 @@ class LiveMigration:
         max_delta_rounds: int = 8,
         pipeline_depth: int = 32,
         on_handover: Optional[Callable[[DatabaseEngine], None]] = None,
+        obs=None,
     ):
         if delta_threshold < 0:
             raise ValueError(f"delta_threshold must be >= 0, got {delta_threshold}")
@@ -181,6 +182,9 @@ class LiveMigration:
         self.max_delta_rounds = max_delta_rounds
         self.pipeline_depth = pipeline_depth
         self.on_handover = on_handover
+        #: Optional :class:`~repro.obs.Observability`; ``None`` keeps
+        #: phase transitions free of span/metric work.
+        self.obs = obs
         self.phase = MigrationPhase.PENDING
         #: (time, phase) log of every transition, for post-mortems.
         self.phase_history: list[tuple[float, MigrationPhase]] = []
@@ -205,6 +209,8 @@ class LiveMigration:
             )
         self.phase = phase
         self.phase_history.append((self.env.now, phase))
+        if self.obs is not None:
+            self.obs.on_migration_phase(self, phase)
 
     def try_abort(self, reason: str = "cancelled") -> bool:
         """Request an abort; returns whether it was accepted.
@@ -448,6 +454,8 @@ class LiveMigration:
                 self.source.thaw()
             raise
         downtime = self.env.now - freeze_started
+        if self.obs is not None:
+            self.obs.on_migration_freeze(self, downtime)
         if self.on_handover is not None and not self._handover_done:
             self._handover_done = True
             self.on_handover(self.target)

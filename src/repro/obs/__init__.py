@@ -1,0 +1,30 @@
+"""Observability layer: deterministic metrics + sim-time span tracing.
+
+See ``docs/OBSERVABILITY.md``.  The public surface:
+
+* :class:`MetricsRegistry` / :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` — wall-clock-free instruments;
+* :class:`Tracer` — sim-time spans and events, JSONL output;
+* :class:`Observability` — the pre-bound runtime the hot layers hook
+  (``attach(cluster)``), zero-cost when absent;
+* :class:`RunReport` — the portable per-run artifact, summarized by
+  ``python -m repro.obs summarize``.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import RunReport, config_fingerprint
+from .runtime import Observability
+from .tracer import Span, Tracer, read_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "RunReport",
+    "Span",
+    "Tracer",
+    "config_fingerprint",
+    "read_jsonl",
+]

@@ -1,0 +1,171 @@
+"""``python -m repro.obs summarize`` — render RunReports for humans.
+
+Accepts report JSON files (written by :meth:`RunReport.write`) and/or
+directories, in which every ``*.report.json`` file is summarized.  The
+summary surfaces what the instrumentation exists for: per-phase
+migration spans, handover freeze durations, controller-step metrics,
+transport retry/drop counters, fault activations, and resource
+utilization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+from typing import Optional
+
+from . import names
+from .report import RunReport
+
+__all__ = ["summarize_text", "main"]
+
+
+def _fmt(value: Optional[float], unit: str = "") -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return f"{value:.4g}{unit}"
+
+
+def _histogram_line(label: str, summary: Optional[dict], unit: str = "") -> str:
+    if not summary or not summary.get("count"):
+        return f"  {label:<24} (no samples)"
+    count = summary["count"]
+    mean = summary["sum"] / count
+    return (
+        f"  {label:<24} n={count:<6} mean={_fmt(mean, unit)} "
+        f"min={_fmt(summary.get('min'), unit)} max={_fmt(summary.get('max'), unit)}"
+    )
+
+
+def _phase_lines(report: RunReport) -> list[str]:
+    groups: dict[str, list[float]] = {}
+    for span in report.spans_named(names.MIGRATION_PHASE_SPAN):
+        phase = span.get("attrs", {}).get("phase", "?")
+        groups.setdefault(phase, []).append(span["end"] - span["start"])
+    lines = []
+    for phase in sorted(groups):
+        durations = groups[phase]
+        total = sum(durations)
+        lines.append(
+            f"  phase {phase:<12} n={len(durations):<4} total={_fmt(total, 's')} "
+            f"mean={_fmt(total / len(durations), 's')}"
+        )
+    return lines
+
+
+def summarize_text(report: RunReport, label: str = "") -> str:
+    """Human-readable multi-section summary of one report."""
+    lines = [
+        f"RunReport {label or report.config_fingerprint} "
+        f"(config={report.config_fingerprint}, sim_end={report.sim_end:.3f}s, "
+        f"{len(report.spans)} spans"
+        + (f", trace={report.trace_path}" if report.trace_path else "")
+        + ")"
+    ]
+
+    lines.append("migration:")
+    phase_lines = _phase_lines(report)
+    lines.extend(phase_lines or ["  (no migration phases recorded)"])
+    lines.append(
+        f"  transitions={report.counter(names.MIGRATION_PHASES_TOTAL)} "
+        f"aborts={report.counter(names.MIGRATION_ABORTS_TOTAL)}"
+    )
+    lines.append(
+        _histogram_line(
+            "handover freeze", report.histogram(names.MIGRATION_FREEZE_SECONDS), "s"
+        )
+    )
+
+    lines.append("controller:")
+    lines.append(f"  steps={report.counter(names.CONTROLLER_STEPS_TOTAL)}")
+    lines.append(
+        _histogram_line("error", report.histogram(names.CONTROLLER_ERROR_MS), "ms")
+    )
+    lines.append(
+        _histogram_line("output", report.histogram(names.CONTROLLER_OUTPUT_PCT), "%")
+    )
+
+    lines.append("transport:")
+    lines.append(
+        "  sends={} delivered={} retries={} timeouts={} drops={} failures={}".format(
+            report.counter(names.TRANSPORT_SENDS_TOTAL),
+            report.counter(names.TRANSPORT_DELIVERED_TOTAL),
+            report.counter(names.TRANSPORT_RETRIES_TOTAL),
+            report.counter(names.TRANSPORT_TIMEOUTS_TOTAL),
+            report.counter(names.TRANSPORT_DROPS_TOTAL),
+            report.counter(names.TRANSPORT_FAILURES_TOTAL),
+        )
+    )
+
+    activations = report.counter(names.FAULT_ACTIVATIONS_TOTAL)
+    if activations:
+        lines.append("faults:")
+        lines.append(f"  activations={activations}")
+        for event in report.spans_named(names.FAULT_EVENT):
+            attrs = event.get("attrs", {})
+            lines.append(
+                f"  t={event['start']:.3f}s {attrs.get('kind', '?')} "
+                f"on {attrs.get('node', '?')}"
+            )
+
+    lines.append("resources:")
+    lines.append(
+        _histogram_line(
+            "disk utilization", report.histogram(names.DISK_UTILIZATION_DIST)
+        )
+    )
+    lines.append(
+        _histogram_line(
+            "nic utilization", report.histogram(names.NIC_UTILIZATION_DIST)
+        )
+    )
+    return "\n".join(lines)
+
+
+def _collect(paths: list[str]) -> list[tuple[str, Path]]:
+    found: list[tuple[str, Path]] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in sorted(path.glob("*.report.json")):
+                found.append((child.stem.replace(".report", ""), child))
+        else:
+            found.append((path.stem.replace(".report", ""), path))
+    return found
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    summarize = sub.add_parser(
+        "summarize", help="summarize RunReport JSON files or directories"
+    )
+    summarize.add_argument(
+        "paths", nargs="+", help="report files or directories of *.report.json"
+    )
+    args = parser.parse_args(argv)
+
+    targets = _collect(args.paths)
+    if not targets:
+        print("no reports found", file=sys.stderr)
+        return 2
+    failures = 0
+    for index, (label, path) in enumerate(targets):
+        if index:
+            print()
+        try:
+            report = RunReport.read(str(path))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"{path}: unreadable report ({exc})", file=sys.stderr)
+            failures += 1
+            continue
+        print(summarize_text(report, label=label))
+    return 2 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""Deterministic in-simulation metrics: counters, gauges, histograms.
+
+The registry is the numeric half of the observability layer (the span
+tracer is the temporal half).  Three rules keep it safe to leave
+enabled in any experiment:
+
+* **No wall clock.**  Instruments never read host time; anything
+  time-shaped comes from the caller as simulation seconds.
+* **Deterministic snapshots.**  ``snapshot()`` sorts by instrument
+  name, so two bit-identical runs serialize byte-identical reports.
+* **Fixed buckets.**  Histograms use immutable upper-bound buckets
+  chosen at registration (see :mod:`repro.obs.names`), never adaptive
+  ones — adaptive buckets would make reports incomparable across runs.
+
+Hot paths hold direct references to pre-registered instruments (the
+:class:`~repro.obs.runtime.Observability` object binds them once), so
+an instrumented increment is one attribute call, and a disabled run
+pays only an ``is not None`` check — the same discipline as the fault
+injector's bus hook.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot add {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max summaries.
+
+    ``buckets`` are inclusive upper bounds in strictly increasing
+    order; one implicit overflow bucket catches everything above the
+    last bound.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str, buckets: Sequence[float]):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name}: need at least one bucket")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name}: buckets must strictly increase")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def summary(self) -> dict:
+        """JSON-ready summary (deterministic; no wall-clock fields)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.count else None,
+            "max": self.vmax if self.count else None,
+            "buckets": [
+                [bound, count] for bound, count in zip(self.bounds, self.counts)
+            ]
+            + [["+Inf", self.counts[-1]]],
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create registration.
+
+    Per-entity instruments (one gauge per node, say) pass the entity as
+    ``suffix=`` — the registered *name* stays a module-level constant
+    (lint rule SLK010) and the full instrument name becomes
+    ``"<name>:<suffix>"``.
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, object] = {}
+
+    @staticmethod
+    def _full_name(name: str, suffix: Optional[str]) -> str:
+        return name if suffix is None else f"{name}:{suffix}"
+
+    def _get(self, cls, full_name: str, *args):
+        instrument = self._instruments.get(full_name)
+        if instrument is None:
+            instrument = cls(full_name, *args)
+            self._instruments[full_name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"{full_name!r} is already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, suffix: Optional[str] = None) -> Counter:
+        return self._get(Counter, self._full_name(name, suffix))
+
+    def gauge(self, name: str, suffix: Optional[str] = None) -> Gauge:
+        return self._get(Gauge, self._full_name(name, suffix))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float], suffix: Optional[str] = None
+    ) -> Histogram:
+        return self._get(Histogram, self._full_name(name, suffix), buckets)
+
+    def snapshot(self) -> dict:
+        """All instruments as plain JSON-ready data, sorted by name."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for full_name in sorted(self._instruments):
+            instrument = self._instruments[full_name]
+            if isinstance(instrument, Counter):
+                counters[full_name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[full_name] = instrument.value
+            else:
+                histograms[full_name] = instrument.summary()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

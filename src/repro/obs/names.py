@@ -1,0 +1,100 @@
+"""Registered metric and span names (lint rule SLK010).
+
+Every metric or span name used at an instrumentation site must be a
+module-level constant — never an f-string or concatenation built in a
+hot loop — so the full vocabulary of the observability layer is
+greppable here, call sites stay allocation-free, and cardinality is
+bounded by construction.  Per-entity variants (one gauge per node, one
+span per tenant) are expressed through the registry's ``suffix=``
+keyword and the tracer's span attributes, keeping the *name* itself
+constant.
+
+Bucket tuples for the fixed-bucket histograms live here too: they are
+part of the schema (a report is only comparable across runs when the
+buckets match), not a per-call-site choice.
+"""
+
+from __future__ import annotations
+
+# -- migration ---------------------------------------------------------------
+
+#: Span: one migration phase (attrs: tenant, phase).
+MIGRATION_PHASE_SPAN = "migration.phase"
+#: Counter: phase transitions across all migrations.
+MIGRATION_PHASES_TOTAL = "migration.phase_transitions_total"
+#: Counter: migrations that ended in rollback.
+MIGRATION_ABORTS_TOTAL = "migration.aborts_total"
+#: Histogram: handover freeze duration (the paper's downtime), seconds.
+MIGRATION_FREEZE_SECONDS = "migration.freeze_seconds"
+
+# -- controller --------------------------------------------------------------
+
+#: Counter: PID timesteps actually applied to the throttle.
+CONTROLLER_STEPS_TOTAL = "controller.steps_total"
+#: Histogram: control error (setpoint - process variable), milliseconds.
+CONTROLLER_ERROR_MS = "controller.error_ms"
+#: Histogram: controller output, percent of the maximum migration rate.
+CONTROLLER_OUTPUT_PCT = "controller.output_pct"
+#: Gauge: last throttle rate the controller applied, bytes/second.
+CONTROLLER_RATE_BPS = "controller.rate_bps"
+
+# -- transport ---------------------------------------------------------------
+
+#: Counter: sends started by any endpoint (failed ones included).
+TRANSPORT_SENDS_TOTAL = "transport.sends_total"
+#: Counter: sends that reached the recipient's inbox at least once.
+TRANSPORT_DELIVERED_TOTAL = "transport.delivered_total"
+#: Counter: retry attempts beyond each send's first try.
+TRANSPORT_RETRIES_TOTAL = "transport.retries_total"
+#: Counter: attempts abandoned because the per-message timeout fired.
+TRANSPORT_TIMEOUTS_TOTAL = "transport.timeouts_total"
+#: Counter: messages consumed by faults or dead endpoints.
+TRANSPORT_DROPS_TOTAL = "transport.drops_total"
+#: Counter: sends that ultimately gave up.
+TRANSPORT_FAILURES_TOTAL = "transport.failures_total"
+
+# -- faults ------------------------------------------------------------------
+
+#: Counter: injected faults that materialized (message fates drawn to a
+#: non-trivial verdict, plus every scheduled fault firing).
+FAULT_ACTIVATIONS_TOTAL = "faults.activations_total"
+#: Trace event: one scheduled fault firing (attrs: kind, node, duration).
+FAULT_EVENT = "faults.scheduled"
+
+# -- resources ---------------------------------------------------------------
+
+#: Gauge (per node via ``suffix=``): disk busy fraction last interval.
+DISK_UTILIZATION = "disk.utilization"
+#: Gauge (per node via ``suffix=``): NIC busy fraction last interval.
+NIC_UTILIZATION = "nic.utilization"
+#: Histogram: distribution of per-interval disk utilization, all nodes.
+DISK_UTILIZATION_DIST = "disk.utilization_dist"
+#: Histogram: distribution of per-interval NIC utilization, all nodes.
+NIC_UTILIZATION_DIST = "nic.utilization_dist"
+
+# -- bucket schemas ----------------------------------------------------------
+
+#: Control error, ms; symmetric around zero (error can be negative).
+ERROR_MS_BUCKETS = (
+    -2000.0,
+    -1000.0,
+    -500.0,
+    -200.0,
+    -100.0,
+    -50.0,
+    -20.0,
+    0.0,
+    20.0,
+    50.0,
+    100.0,
+    200.0,
+    500.0,
+    1000.0,
+    2000.0,
+)
+#: Percent-of-max output.
+PERCENT_BUCKETS = (0.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0)
+#: Short durations (freeze windows), seconds.
+FREEZE_SECONDS_BUCKETS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0)
+#: Busy fractions in [0, 1].
+UTILIZATION_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)

@@ -1,0 +1,109 @@
+"""Per-run observability reports.
+
+A :class:`RunReport` is the portable end-of-run artifact: the metrics
+snapshot, the closed spans, the path of the JSONL trace (if one was
+written), and a fingerprint of the (config, spec) pair that produced
+it — enough to tell two reports apart and to line a report up with the
+sweep point that generated it.
+
+Reports are plain data (dicts, tuples, floats, strings), so they
+pickle across the parallel runner's process boundary and serialize to
+JSON without custom encoders.
+
+The fingerprint helper intentionally does **not** reuse
+:func:`repro.parallel.cache.point_key`: importing ``repro.parallel``
+from here would close an import cycle (``parallel`` → runner →
+experiment harness → ``obs``), and the report only needs a stable
+identity, not cache semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["RunReport", "config_fingerprint"]
+
+
+def _plain(value: Any) -> Any:
+    """Recursively reduce configs/specs to JSON-encodable plain data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _plain(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def config_fingerprint(config: Any = None, spec: Any = None) -> str:
+    """Stable short hash of an experiment's (config, spec) pair."""
+    payload = json.dumps(_plain({"config": config, "spec": spec}), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """One run's observability snapshot, ready to serialize."""
+
+    #: Short hash of the (config, spec) pair (see :func:`config_fingerprint`).
+    config_fingerprint: str
+    #: Simulation time when the report was taken, seconds.
+    sim_end: float
+    #: ``MetricsRegistry.snapshot()`` output.
+    metrics: dict = field(default_factory=dict)
+    #: Closed spans/events, in closing order (JSON-ready dicts).
+    spans: tuple = ()
+    #: Path of the JSONL trace, when one was written.
+    trace_path: Optional[str] = None
+
+    def to_json(self) -> dict:
+        return {
+            "config_fingerprint": self.config_fingerprint,
+            "sim_end": self.sim_end,
+            "metrics": self.metrics,
+            "spans": list(self.spans),
+            "trace_path": self.trace_path,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RunReport":
+        return cls(
+            config_fingerprint=data["config_fingerprint"],
+            sim_end=data["sim_end"],
+            metrics=data.get("metrics", {}),
+            spans=tuple(data.get("spans", ())),
+            trace_path=data.get("trace_path"),
+        )
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def read(cls, path: str) -> "RunReport":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(json.load(fh))
+
+    # -- convenience accessors -------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """A counter's value, 0 if never registered."""
+        return self.metrics.get("counters", {}).get(name, 0)
+
+    def histogram(self, name: str) -> Optional[dict]:
+        """A histogram summary dict, or None if never registered."""
+        return self.metrics.get("histograms", {}).get(name)
+
+    def spans_named(self, name: str) -> list[dict]:
+        """All closed spans/events with the given registered name."""
+        return [s for s in self.spans if s.get("name") == name]

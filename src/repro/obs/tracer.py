@@ -1,0 +1,119 @@
+"""Sim-time span tracing with structured JSONL output.
+
+A :class:`Tracer` records *spans* — named intervals of simulation time
+with small attribute dicts — and zero-length *events*.  Timestamps are
+``env.now`` only; the tracer never touches the wall clock, so traces
+from bit-identical runs are byte-identical.
+
+Span names must be module-level constants (lint rule SLK010, see
+:mod:`repro.obs.names`); per-span variation goes in the attributes.
+
+The JSONL schema is one object per line, keys sorted::
+
+    {"attrs": {...}, "end": 12.5, "name": "migration.phase", "start": 3.0}
+
+Events are spans whose ``end`` equals ``start``.  Lines appear in span
+*closing* order (the order the simulation finished them), which is
+deterministic for a deterministic run.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+
+__all__ = ["Span", "Tracer", "read_jsonl"]
+
+
+class Span:
+    """One open interval; call :meth:`end` exactly once to record it."""
+
+    __slots__ = ("name", "start", "attrs", "_tracer", "_closed")
+
+    def __init__(self, tracer: "Tracer", name: str, start: float, attrs: dict):
+        self.name = name
+        self.start = start
+        self.attrs = attrs
+        self._tracer = tracer
+        self._closed = False
+
+    def end(self, **extra_attrs) -> None:
+        """Close the span at the current simulation time.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if extra_attrs:
+            self.attrs.update(extra_attrs)
+        self._tracer._close(self)
+
+
+class Tracer:
+    """Collects spans and events against one simulation clock."""
+
+    def __init__(self, env):
+        self.env = env
+        #: Closed spans as JSON-ready dicts, in closing order.
+        self.records: list[dict] = []
+        self._open: list[Span] = []
+
+    def begin(self, name: str, **attrs) -> Span:
+        """Open a span at ``env.now``; the caller must ``end()`` it."""
+        span = Span(self, name, self.env.now, attrs)
+        self._open.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Context manager: span covering the ``with`` block's sim time."""
+        handle = self.begin(name, **attrs)
+        try:
+            yield handle
+        finally:
+            handle.end()
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a zero-length span at ``env.now``."""
+        now = self.env.now
+        self.records.append(
+            {"name": name, "start": now, "end": now, "attrs": attrs}
+        )
+
+    def _close(self, span: Span) -> None:
+        try:
+            self._open.remove(span)
+        except ValueError:
+            pass
+        self.records.append(
+            {
+                "name": span.name,
+                "start": span.start,
+                "end": self.env.now,
+                "attrs": span.attrs,
+            }
+        )
+
+    def finish(self) -> None:
+        """Close any spans still open (e.g. a wedged migration's phase)."""
+        for span in list(self._open):
+            span.end(unfinished=True)
+
+    def to_dicts(self) -> list[dict]:
+        """All closed records (shared list; treat as read-only)."""
+        return self.records
+
+    def write_jsonl(self, path: str) -> None:
+        """Write one sorted-keys JSON object per closed record."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in self.records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Load a trace written by :meth:`Tracer.write_jsonl`."""
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -24,6 +24,7 @@ from typing import Optional
 from ..experiments.harness import ExperimentOutcome, MigrationSpec, PooledLatencyStats
 from ..core.config import ExperimentConfig
 from ..migration.stop_and_copy import StopAndCopyResult
+from ..obs import RunReport
 from ..simulation import Series
 
 __all__ = ["MigrationRecord", "TenantRecord", "PointRecord"]
@@ -96,6 +97,9 @@ class PointRecord(PooledLatencyStats):
     controller_latency_series: Optional[Series] = None
     #: Task-specific extra measurements (small picklable values only).
     extras: dict = field(default_factory=dict)
+    #: Observability snapshot (plain dicts/tuples, pickles compactly)
+    #: when the point ran with ``observe=True``.
+    run_report: Optional[RunReport] = None
 
     @property
     def average_migration_rate(self) -> float:
@@ -124,4 +128,5 @@ class PointRecord(PooledLatencyStats):
             throttle_series=outcome.throttle_series,
             controller_latency_series=outcome.controller_latency_series,
             extras=dict(outcome.extras),
+            run_report=outcome.run_report,
         )

@@ -87,6 +87,10 @@ class MigrationCostBenefit:
     ) -> float:
         """Fraction of recent accounting windows that violated the SLA."""
         reports = self._monitor.evaluate(latency, start, end)
+        # Idle windows (no completed transaction) carry no latency
+        # signal; counting them either way would skew the rate, so they
+        # are excluded — the same idle-filtering discipline as
+        # NodeLoad.active_tenants().
         measured = [r for r in reports if r.transactions > 0]
         if not measured:
             return 0.0

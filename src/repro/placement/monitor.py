@@ -35,6 +35,16 @@ class TenantLoad:
     #: Tenant data directory size, bytes (migration cost proxy).
     data_bytes: int
 
+    @property
+    def is_idle(self) -> bool:
+        """True when no transaction completed in the interval.
+
+        Idle tenants have no latency signal (``mean_latency`` is NaN);
+        policies must filter on this predicate rather than comparing
+        against NaN, which silently fails every ordering test.
+        """
+        return self.throughput == 0
+
 
 @dataclass(frozen=True)
 class NodeLoad:
@@ -53,9 +63,17 @@ class NodeLoad:
     def tenant_count(self) -> int:
         return len(self.tenants)
 
+    def active_tenants(self) -> tuple[TenantLoad, ...]:
+        """Tenants that completed at least one transaction (non-idle).
+
+        The latency signal only exists for these; idle tenants carry a
+        NaN ``mean_latency`` that would poison any max/sort over it.
+        """
+        return tuple(t for t in self.tenants if not t.is_idle)
+
     def hottest_tenant(self) -> Optional[TenantLoad]:
         """The tenant with the highest interval latency, if any."""
-        candidates = [t for t in self.tenants if t.throughput > 0]
+        candidates = self.active_tenants()
         if not candidates:
             return None
         return max(candidates, key=lambda t: t.mean_latency)

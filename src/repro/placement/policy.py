@@ -20,7 +20,6 @@ Two detectors and two choosers, composable by the
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Protocol
 
@@ -73,10 +72,11 @@ class LatencyHotspotDetector:
     def hot_nodes(self, loads: dict[str, NodeLoad]) -> list[str]:
         hot = []
         for name, load in loads.items():
+            # hottest_tenant() already excludes idle tenants, so its
+            # latency is a real number whenever it is not None.
             worst = load.hottest_tenant()
             breached = (
                 worst is not None
-                and not math.isnan(worst.mean_latency)
                 and worst.mean_latency > self.latency_threshold
             )
             if breached:
@@ -144,9 +144,9 @@ class GreedyReliefChooser:
             # A lone tenant gains nothing from neighbours leaving, but
             # still benefits from moving to an idle node if one exists.
             pass
-        candidates = [
-            t for t in load.tenants if not math.isnan(t.mean_latency)
-        ]
+        # Only tenants with a latency signal can be ranked; an idle
+        # tenant (NaN latency) is never the one causing the hotspot.
+        candidates = load.active_tenants()
         if not candidates:
             return None
         # Hottest first; among near-equals prefer the cheapest to move.

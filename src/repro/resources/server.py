@@ -63,5 +63,18 @@ class Server:
         """A deterministic per-purpose RNG tied to this server's name."""
         return self._streams.stream(f"{self.name}:{purpose}")
 
+    def io_snapshot(self) -> tuple[float, float]:
+        """Accumulated (disk, NIC) busy time, seconds.
+
+        NIC busy time sums both full-duplex directions; samplers that
+        interval-difference these counters (heartbeats, the placement
+        monitor, the observability runtime) get utilization without
+        touching — or perturbing — the resources themselves.
+        """
+        return (
+            self.disk.stats.busy_time,
+            self.nic_out.stats.busy_time + self.nic_in.stats.busy_time,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Server {self.name}>"

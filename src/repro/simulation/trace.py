@@ -78,10 +78,31 @@ class Series:
         hi = bisect.bisect_left(self.times, end)
         return Series(self.name, self.times[lo:hi], self.values[lo:hi])
 
-    def window_values(self, start: float, end: float) -> list[float]:
-        """Values sampled in the half-open window [start, end)."""
+    def window_values(
+        self, start: float, end: float, closed: str = "left"
+    ) -> list[float]:
+        """Values sampled in the window from ``start`` to ``end``.
+
+        ``closed`` picks the interval's end semantics explicitly:
+
+        * ``"left"`` (default) — half-open ``[start, end)``, the right
+          choice for tiling a run into non-overlapping buckets;
+        * ``"both"`` — closed ``[start, end]``, the right choice for a
+          trailing window anchored at the current instant, where a
+          sample recorded exactly *at* ``end`` (a transaction completing
+          at the sampling instant) must be included.
+
+        The closed form exists so callers never reach for a
+        ``end + epsilon`` fudge, which silently stops working once the
+        epsilon falls below the float spacing of the timestamps.
+        """
         lo = bisect.bisect_left(self.times, start)
-        hi = bisect.bisect_left(self.times, end)
+        if closed == "left":
+            hi = bisect.bisect_left(self.times, end)
+        elif closed == "both":
+            hi = bisect.bisect_right(self.times, end)
+        else:
+            raise ValueError(f"closed must be 'left' or 'both', got {closed!r}")
         return self.values[lo:hi]
 
     def smoothed(self, window: float) -> "Series":

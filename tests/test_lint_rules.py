@@ -556,3 +556,83 @@ class TestSLK009UnboundedRetry:
         config = LintConfig(retry_scope=("mypkg/",))
         assert "SLK009" in rule_ids(src, rel_path="mypkg/net.py", config=config)
         assert "SLK009" not in rule_ids(src, rel_path="src/repro/x.py", config=config)
+
+class TestSLK010DynamicMetricName:
+    def test_positive_fstring_counter_name(self):
+        src = (
+            "def hook(registry, tenant):\n"
+            "    registry.counter(f'migrations.{tenant}.total').inc()\n"
+        )
+        assert "SLK010" in rule_ids(src)
+
+    def test_positive_concatenated_span_name(self):
+        src = (
+            "def hook(tracer, phase):\n"
+            "    tracer.begin('migration.' + phase)\n"
+        )
+        assert "SLK010" in rule_ids(src)
+
+    def test_positive_string_literal_name(self):
+        # Even a plain literal at the call site bypasses the registered
+        # vocabulary: two sites can drift apart unnoticed.
+        src = (
+            "def hook(registry):\n"
+            "    registry.counter('migration.phases_total').inc()\n"
+        )
+        assert "SLK010" in rule_ids(src)
+
+    def test_positive_call_built_name(self):
+        src = (
+            "def hook(obs, kind):\n"
+            "    obs.tracer.event('fault_{}'.format(kind))\n"
+        )
+        assert "SLK010" in rule_ids(src)
+
+    def test_negative_module_constant(self):
+        src = (
+            "from repro.obs import names\n"
+            "def hook(registry):\n"
+            "    registry.counter(names.MIGRATION_PHASES_TOTAL).inc()\n"
+        )
+        assert "SLK010" not in rule_ids(src)
+
+    def test_negative_bare_constant_reference(self):
+        src = (
+            "PHASES_TOTAL = 'migration.phases_total'\n"
+            "def hook(registry):\n"
+            "    registry.counter(PHASES_TOTAL).inc()\n"
+        )
+        assert "SLK010" not in rule_ids(src)
+
+    def test_negative_suffix_keyword_carries_cardinality(self):
+        src = (
+            "from repro.obs import names\n"
+            "def hook(registry, server):\n"
+            "    registry.gauge(names.DISK_UTILIZATION, suffix=server).set(0.5)\n"
+        )
+        assert "SLK010" not in rule_ids(src)
+
+    def test_negative_unrelated_receiver(self):
+        # .event()/.begin() on non-observability objects must not fire.
+        src = (
+            "def notify(dispatcher, kind):\n"
+            "    dispatcher.event(f'user.{kind}')\n"
+        )
+        assert "SLK010" not in rule_ids(src)
+
+    def test_obs_scope_configurable(self):
+        src = (
+            "def hook(registry, tenant):\n"
+            "    registry.counter(f'x.{tenant}').inc()\n"
+        )
+        config = LintConfig(obs_scope=("mypkg/",))
+        assert "SLK010" in rule_ids(src, rel_path="mypkg/obs.py", config=config)
+        assert "SLK010" not in rule_ids(src, rel_path="src/repro/x.py", config=config)
+
+    def test_pragma_suppresses(self):
+        src = (
+            "def hook(registry, tenant):\n"
+            "    registry.counter(f'x.{tenant}').inc()  "
+            "# slackerlint: disable=SLK010\n"
+        )
+        assert "SLK010" not in rule_ids(src)

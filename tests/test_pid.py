@@ -101,6 +101,70 @@ class TestVelocityPid:
         pid.set_setpoint(200)
         assert pid.error(300) == -100
 
+    def test_retarget_produces_only_ki_delta(self):
+        """Regression: ``set_setpoint`` used to keep the stale error
+        history, so the next update saw the whole setpoint step as a
+        one-timestep error jump and the Kp/Kd terms kicked the output.
+        With the history rebased, a retarget alone must move the output
+        by exactly the Ki term, ``ki * e_new * dt``."""
+        gains = PidGains(0.025, 0.005, 0.015)
+        pid = VelocityPidController(gains, setpoint=1000, initial_output=50)
+        for _ in range(5):
+            pid.update(1000.0)  # settled: e == 0, output holds at 50
+        assert pid.output == pytest.approx(50.0)
+        pid.set_setpoint(1400)
+        e_new = 1400 - 1000.0
+        out = pid.update(1000.0)  # PV unchanged; only the target moved
+        assert out - 50.0 == pytest.approx(gains.ki * e_new * 1.0)
+
+    def test_retarget_no_kick_with_pure_pd(self):
+        """With Ki = 0 a retarget alone must not move the output at all
+        (the Kp/Kd terms only react to PV motion)."""
+        pid = VelocityPidController(
+            PidGains(0.5, 0.0, 0.5), setpoint=1000, initial_output=50
+        )
+        for _ in range(5):
+            pid.update(800.0)
+        settled = pid.output
+        pid.set_setpoint(100)
+        assert pid.update(800.0) == pytest.approx(settled)
+        assert pid.update(800.0) == pytest.approx(settled)
+
+    def test_retarget_before_first_update_is_clean(self):
+        """Retargeting a fresh controller (no history yet) must not
+        fabricate one."""
+        gains = PidGains(0.5, 0.01, 0.5)
+        retargeted = VelocityPidController(gains, setpoint=500, initial_output=20)
+        retargeted.set_setpoint(1000)
+        fresh = VelocityPidController(gains, setpoint=1000, initial_output=20)
+        assert retargeted.update(700.0) == pytest.approx(fresh.update(700.0))
+
+    def test_retarget_trajectory_diverges_only_by_integral(self):
+        """Over a fig13a-style trajectory (latency climbing through a
+        load surge), a mid-run retarget changes the subsequent outputs
+        by exactly the accumulated Ki correction — the Kp/Kd terms see
+        identical error *differences* before and after the rebase."""
+        gains = PidGains(0.025, 0.005, 0.015)
+        pvs = [800 + 40 * i for i in range(20)]  # steady climb, no clamp
+        plain = VelocityPidController(gains, setpoint=1500, initial_output=50)
+        retargeted = VelocityPidController(gains, setpoint=1500, initial_output=50)
+        shift = 300.0
+        for i, pv in enumerate(pvs):
+            if i == 10:
+                retargeted.set_setpoint(1500 + shift)
+            a = plain.update(pv)
+            b = retargeted.update(pv)
+            expected_gap = gains.ki * shift * max(0, i - 9)
+            assert b - a == pytest.approx(expected_gap)
+
+    def test_last_error_tracks_updates(self):
+        pid = VelocityPidController(PAPER_GAINS, setpoint=1000)
+        assert pid.last_error is None
+        pid.update(400.0)
+        assert pid.last_error == pytest.approx(600.0)
+        pid.reset()
+        assert pid.last_error is None
+
     def test_derivative_damps_rapid_rise(self):
         """With Kd, a rapidly-rising PV is braked harder than with P alone."""
         with_d = VelocityPidController(
@@ -171,6 +235,56 @@ class TestPositionalPid:
         pid.reset()
         assert pid.integral == 0
         assert pid.steps == 0
+
+    def test_reset_restores_construction_state(self):
+        """After reset() the controller behaves exactly like a freshly
+        constructed one: same output floor, no integral, no error
+        history feeding the derivative."""
+        pid = PositionalPidController(
+            PidGains(0.5, 0.1, 0.5), setpoint=100, output_min=5, windup_limit=50
+        )
+        for pv in (0.0, 20.0, 150.0, 80.0):
+            pid.update(pv)
+        pid.reset()
+        fresh = PositionalPidController(
+            PidGains(0.5, 0.1, 0.5), setpoint=100, output_min=5, windup_limit=50
+        )
+        assert pid.output == fresh.output == 5
+        assert pid.integral == fresh.integral == 0.0
+        assert pid.steps == fresh.steps == 0
+        assert pid.last_error is None and fresh.last_error is None
+        for pv in (30.0, 60.0):
+            assert pid.update(pv) == pytest.approx(fresh.update(pv))
+
+    def test_windup_clamp_lands_exactly_on_limit(self):
+        """The integral clamps to exactly +/- windup_limit, not a value
+        one step past it."""
+        pid = PositionalPidController(
+            PidGains(0, 1.0, 0), setpoint=5, windup_limit=10.0
+        )
+        pid.update(0.0)  # integral = 5
+        pid.update(0.0)  # integral = 10, exactly at the limit
+        assert pid.integral == 10.0
+        pid.update(0.0)  # would be 15: clamped
+        assert pid.integral == 10.0
+        for _ in range(6):
+            pid.update(10.0)  # e = -5 each step, toward the other rail
+        assert pid.integral == -10.0
+        pid.update(10.0)
+        assert pid.integral == -10.0
+
+    def test_set_setpoint_keeps_integral(self):
+        """Documented behavior: a positional retarget keeps the error
+        integral (unlike the velocity form there is real state here,
+        and dropping it would forget accumulated bias correction)."""
+        pid = PositionalPidController(PidGains(0.1, 1.0, 0.1), setpoint=10)
+        for _ in range(3):
+            pid.update(4.0)
+        accumulated = pid.integral
+        assert accumulated == pytest.approx(18.0)
+        pid.set_setpoint(20)
+        assert pid.integral == pytest.approx(accumulated)
+        assert pid.setpoint == 20
 
     def test_dt_validation(self):
         pid = PositionalPidController(PAPER_GAINS, setpoint=10)

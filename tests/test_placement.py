@@ -92,6 +92,62 @@ class TestLoadMonitor:
         assert node_load("a", 0.5).hottest_tenant() is None
 
 
+class TestIdleTenantFiltering:
+    """Idle tenants carry a NaN latency; every consumer must filter on
+    the explicit predicate, never on NaN comparisons (which are always
+    False and silently corrupt max/sort)."""
+
+    def test_is_idle_predicate(self):
+        assert tenant_load(1, float("nan"), throughput=0).is_idle
+        assert not tenant_load(1, 0.5, throughput=3).is_idle
+
+    def test_active_tenants_excludes_idle(self):
+        load = node_load("a", 0.5, [
+            tenant_load(1, 0.5),
+            tenant_load(2, float("nan"), throughput=0),
+            tenant_load(3, 1.5),
+        ])
+        assert [t.tenant_id for t in load.active_tenants()] == [1, 3]
+
+    def test_hottest_tenant_ignores_idle(self):
+        # NaN poisons max(): if the idle tenant were included, it could
+        # shadow the genuinely hottest one depending on ordering.
+        load = node_load("a", 0.5, [
+            tenant_load(1, float("nan"), throughput=0),
+            tenant_load(2, 2.0),
+        ])
+        assert load.hottest_tenant().tenant_id == 2
+
+    def test_all_idle_node_has_no_hottest(self):
+        load = node_load("a", 0.5, [
+            tenant_load(1, float("nan"), throughput=0),
+            tenant_load(2, float("nan"), throughput=0),
+        ])
+        assert load.hottest_tenant() is None
+        assert load.active_tenants() == ()
+
+    def test_detector_never_fires_on_idle_node(self):
+        detector = LatencyHotspotDetector(latency_threshold=0.5, patience=1)
+        idle = {"a": node_load("a", 0.99, [
+            tenant_load(1, float("nan"), throughput=0),
+            tenant_load(2, float("nan"), throughput=0),
+        ])}
+        assert detector.hot_nodes(idle) == []
+
+    def test_chooser_skips_idle_never_proposes_nan_victim(self):
+        chooser = GreedyReliefChooser()
+        loads = {
+            "hot": node_load("hot", 0.95, [
+                tenant_load(1, float("nan"), throughput=0),
+                tenant_load(2, 3.0),
+            ]),
+            "cool": node_load("cool", 0.1),
+        }
+        proposal = chooser.propose("hot", loads)
+        assert proposal.tenant_id == 2
+        assert not math.isnan(float(proposal.reason.split(" ms")[0].split()[-1]))
+
+
 class TestLatencyHotspotDetector:
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -67,6 +67,25 @@ class TestSeries:
             s.append(t, float(t))
         assert s.window_values(7, 100) == [7.0, 8.0, 9.0]
 
+    def test_window_values_default_is_half_open(self):
+        s = Series("x")
+        for t in range(10):
+            s.append(t, float(t))
+        # end is exclusive by default: tiling buckets never double-count
+        assert s.window_values(2, 5) == [2.0, 3.0, 4.0]
+        assert s.window_values(2, 5, closed="left") == [2.0, 3.0, 4.0]
+
+    def test_window_values_closed_both_includes_end(self):
+        s = Series("x")
+        for t in range(10):
+            s.append(t, float(t))
+        assert s.window_values(2, 5, closed="both") == [2.0, 3.0, 4.0, 5.0]
+
+    def test_window_values_rejects_unknown_closed(self):
+        s = Series("x")
+        with pytest.raises(ValueError):
+            s.window_values(0, 1, closed="right")
+
     def test_smoothed_is_trailing_average(self):
         s = Series("x")
         values = [0.0, 10.0, 20.0, 30.0]

@@ -54,3 +54,32 @@ class TestLatencyWindow:
         b.append(9.9, 0.6)
         window = LatencyWindow([a, b], window=3.0)
         assert window.sample(10.0) == pytest.approx((0.1 + 0.5 + 0.6) / 3)
+
+    def test_sample_exactly_at_instant_included(self):
+        """A transaction completing exactly at the sampling instant is
+        part of the trailing window (closed right end)."""
+        s = Series("x")
+        s.append(9.0, 0.2)
+        s.append(10.0, 0.4)
+        window = LatencyWindow([s], window=3.0)
+        assert window.sample(10.0) == pytest.approx(0.3)
+
+    def test_sample_at_instant_beyond_epsilon_resolution(self):
+        """Regression: the window used to approximate the closed right
+        end as ``now + 1e-12``, which rounds away once the float spacing
+        at ``now`` exceeds the epsilon (2**-38 > 1e-12 at t = 16384), so
+        a transaction completing exactly at the sample instant silently
+        dropped out of the window late in long runs."""
+        now = 16384.0
+        assert now + 1e-12 == now  # the fudge resolves to nothing here
+        s = Series("x")
+        s.append(now - 1.0, 0.2)
+        s.append(now, 0.4)
+        window = LatencyWindow([s], window=3.0)
+        assert window.sample(now) == pytest.approx(0.3)
+
+    def test_window_start_is_inclusive(self):
+        s = Series("x")
+        s.append(7.0, 0.6)  # exactly at now - window
+        window = LatencyWindow([s], window=3.0)
+        assert window.sample(10.0) == pytest.approx(0.6)
