@@ -7,7 +7,7 @@ scale) and asserts the *orderings* hold for every seed.
 from benchmarks.conftest import run_once
 from repro.core import CASE_STUDY, EVALUATION
 from repro.experiments import MigrationSpec, run_single_tenant, scaled_config
-from repro.resources.units import mb_per_sec
+from repro.resources.units import mb_per_sec, to_mb
 
 SEEDS = (7, 42, 99)
 
@@ -73,7 +73,7 @@ def test_slacker_predictable_fixed_is_not(benchmark):
     for seed, (dyn, fixed) in results.items():
         print(f"  seed {seed}: slacker {dyn.mean_latency * 1000:6.0f} ms "
               f"vs fixed {fixed.mean_latency * 1000:6.0f} ms at "
-              f"{dyn.average_migration_rate / (1 << 20):4.1f} MB/s")
+              f"{to_mb(dyn.average_migration_rate):4.1f} MB/s")
         slacker_means.append(dyn.mean_latency)
         fixed_means.append(fixed.mean_latency)
         # Hard guarantees that must hold for every seed:

@@ -10,10 +10,17 @@ package machine-checks the conventions that make it so:
 * ``resources/units.py`` helpers instead of raw byte literals,
 * no float equality, mutable defaults, or swallowed exceptions.
 
+Beyond the per-file rules, ``repro.lint.project`` builds a
+whole-program import/symbol/call graph and runs the cross-module
+SLK101-SLK105 family (sim-process blocking reachability, protocol
+exhaustiveness, state-machine conformance, units dataflow, obs-name
+resolution).
+
 Usage::
 
     python -m repro.lint [paths...]        # lint, exit non-zero on findings
-    python -m repro.lint --format json src # machine-readable output
+    python -m repro.lint --project src     # + cross-module SLK10x rules
+    python -m repro.lint --format sarif src  # code-scanning output
     repro-lint src                          # console-script equivalent
 
 Findings can be suppressed with pragmas (see ``docs/LINT.md``)::
@@ -30,13 +37,21 @@ from .framework import Finding, Rule, all_rules, lint_file, lint_paths, lint_sou
 # Importing the rules module registers every SLK rule with the registry.
 from . import rules as _rules  # noqa: F401
 
+from .project import ProjectGraph, all_project_rules, analyze_project
+from .runner import LintRun, run_lint
+
 __all__ = [
     "Finding",
     "Rule",
     "LintConfig",
+    "LintRun",
+    "ProjectGraph",
     "all_rules",
+    "all_project_rules",
+    "analyze_project",
     "lint_file",
     "lint_paths",
     "lint_source",
     "load_pyproject_config",
+    "run_lint",
 ]

@@ -1,7 +1,12 @@
 """Command-line front end: ``python -m repro.lint`` / ``repro-lint``.
 
-Exit codes: 0 clean, 1 findings, 2 usage/IO errors — so CI can gate on
-the linter the same way it gates on pytest.
+Exit codes: 0 clean, 1 findings (or stale pragmas with
+``--show-unused-pragmas``), 2 usage/IO errors — so CI can gate on the
+linter the same way it gates on pytest.
+
+``--project`` adds the whole-program pass: the import/symbol/call
+graph is built over the given paths and the cross-module SLK101-SLK105
+rules run on it alongside the per-file rules.
 """
 
 from __future__ import annotations
@@ -13,7 +18,11 @@ from pathlib import Path
 from typing import Optional
 
 from .config import LintConfig, find_pyproject, load_pyproject_config
-from .framework import all_rules, iter_python_files, lint_paths
+from .framework import all_rules, iter_python_files
+from .project import cache as result_cache
+from .project.rules import all_project_rules
+from .runner import run_lint
+from .sarif import render_sarif
 
 # Ensure rules are registered when the CLI is used directly.
 from . import rules as _rules  # noqa: F401
@@ -25,7 +34,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description="slackerlint: determinism & units linter for the Slacker "
-        "reproduction (rules SLK001-SLK007).",
+        "reproduction (per-file rules SLK001-SLK010, project rules "
+        "SLK101-SLK105).",
     )
     parser.add_argument(
         "paths",
@@ -35,8 +45,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
+        "--project",
+        action="store_true",
+        help="also build the project graph and run the cross-module "
+        "SLK101-SLK105 rules",
+    )
+    parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -44,7 +60,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--disable",
         default="",
         metavar="RULES",
-        help="comma-separated rule ids to skip, e.g. SLK004,SLK006",
+        help="comma-separated rule ids to skip, e.g. SLK004,SLK104",
+    )
+    parser.add_argument(
+        "--show-unused-pragmas",
+        action="store_true",
+        help="report suppression pragmas that no longer match anything "
+        "(exit 1 if any; implies --no-cache)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="memoize results in a content-hash cache (see --cache-dir)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=result_cache.DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"cache location (default: {result_cache.DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
         "--no-config",
@@ -87,6 +120,8 @@ def _run(argv: Optional[list[str]] = None) -> int:
     if args.list_rules:
         for rule_id, rule_cls in sorted(all_rules().items()):
             print(f"{rule_id}  {rule_cls.summary}")
+        for rule_id, rule_cls in sorted(all_project_rules().items()):
+            print(f"{rule_id}  {rule_cls.summary}  [--project]")
         return 0
 
     missing = [p for p in args.paths if not Path(p).exists()]
@@ -96,25 +131,55 @@ def _run(argv: Optional[list[str]] = None) -> int:
 
     config = _resolve_config(args)
     files = list(iter_python_files(args.paths))
-    findings = lint_paths(args.paths, config=config)
+    run = run_lint(
+        args.paths,
+        config=config,
+        project=args.project,
+        use_cache=args.cache,
+        cache_dir=args.cache_dir,
+        collect_unused=args.show_unused_pragmas,
+    )
+    findings = run.findings
 
     if args.format == "json":
         print(
             json.dumps(
                 {
                     "files_checked": len(files),
+                    "cache_hit": run.cache_hit,
                     "findings": [f.to_dict() for f in findings],
+                    "unused_pragmas": [
+                        {"path": path, "line": line, "rule": rule_id}
+                        for path, line, rule_id in run.unused_pragmas
+                    ],
                 },
                 indent=2,
             )
         )
+    elif args.format == "sarif":
+        print(render_sarif(findings))
     else:
         for finding in findings:
             print(finding.render())
+        for path, line, rule_id in run.unused_pragmas:
+            print(f"{path}:{line}: unused suppression pragma for {rule_id}")
         noun = "finding" if len(findings) == 1 else "findings"
-        print(f"{len(findings)} {noun} in {len(files)} files", file=sys.stderr)
+        suffix = " (cached)" if run.cache_hit else ""
+        print(
+            f"{len(findings)} {noun} in {len(files)} files{suffix}",
+            file=sys.stderr,
+        )
+        if run.unused_pragmas:
+            print(
+                f"{len(run.unused_pragmas)} unused suppression pragma(s)",
+                file=sys.stderr,
+            )
 
-    return 1 if findings else 0
+    if findings:
+        return 1
+    if args.show_unused_pragmas and run.unused_pragmas:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

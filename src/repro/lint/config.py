@@ -17,7 +17,7 @@ TOML the lint table uses (strings and lists of strings).
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Optional
 
@@ -50,17 +50,26 @@ class LintConfig:
     #: Path prefixes where the metric/span naming rule (SLK010) applies;
     #: empty disables the rule.
     obs_scope: tuple[str, ...] = ("repro/", "scripts/")
+    #: Path prefixes holding simulation code whose generator processes
+    #: must not reach OS-blocking/wall-clock calls (SLK101); empty
+    #: disables the rule.
+    sim_scope: tuple[str, ...] = ("repro/",)
+    #: Path prefixes exempt from SLK101 even inside ``sim_scope`` (the
+    #: linter itself walks the filesystem, not the simulation).
+    sim_exclude: tuple[str, ...] = ("repro/lint/",)
+    #: Path prefixes where the units-flow dataflow rule (SLK104)
+    #: applies; empty disables the rule.
+    units_flow_scope: tuple[str, ...] = ("repro/",)
+    #: Fully-qualified module holding the registered metric/span name
+    #: constants SLK105 resolves against.
+    obs_names_module: str = "repro.obs.names"
+    #: Substrings marking a function as a message-dispatch loop for the
+    #: protocol-exhaustiveness rule (SLK102).
+    dispatch_markers: tuple[str, ...] = ("dispatch",)
 
     def with_extra_disabled(self, rule_ids: tuple[str, ...]) -> "LintConfig":
         merged = tuple(dict.fromkeys(self.disable + rule_ids))
-        return LintConfig(
-            disable=merged,
-            wall_clock_allow=self.wall_clock_allow,
-            units_scope=self.units_scope,
-            worker_scope=self.worker_scope,
-            retry_scope=self.retry_scope,
-            obs_scope=self.obs_scope,
-        )
+        return replace(self, disable=merged)
 
 
 def _config_from_table(table: dict) -> LintConfig:
@@ -73,6 +82,7 @@ def _config_from_table(table: dict) -> LintConfig:
         return tuple(str(v) for v in value)
 
     defaults = LintConfig()
+    obs_names_module = table.get("obs_names_module")
     return LintConfig(
         disable=_str_tuple("disable", defaults.disable),
         wall_clock_allow=_str_tuple("wall_clock_allow", defaults.wall_clock_allow),
@@ -80,6 +90,15 @@ def _config_from_table(table: dict) -> LintConfig:
         worker_scope=_str_tuple("worker_scope", defaults.worker_scope),
         retry_scope=_str_tuple("retry_scope", defaults.retry_scope),
         obs_scope=_str_tuple("obs_scope", defaults.obs_scope),
+        sim_scope=_str_tuple("sim_scope", defaults.sim_scope),
+        sim_exclude=_str_tuple("sim_exclude", defaults.sim_exclude),
+        units_flow_scope=_str_tuple("units_flow_scope", defaults.units_flow_scope),
+        obs_names_module=(
+            str(obs_names_module)
+            if obs_names_module is not None
+            else defaults.obs_names_module
+        ),
+        dispatch_markers=_str_tuple("dispatch_markers", defaults.dispatch_markers),
     )
 
 

@@ -30,16 +30,22 @@ __all__ = [
     "Finding",
     "FileContext",
     "ImportTracker",
+    "Pragmas",
     "Rule",
     "register",
     "all_rules",
+    "merge_findings",
     "lint_source",
     "lint_file",
     "lint_paths",
     "iter_python_files",
+    "parse_pragmas",
 ]
 
-#: ``# slackerlint: disable=SLK001,SLK002`` (rule list is comma-separated).
+#: Matches comments of the form ``slackerlint: disable=SLK001,SLK002``
+#: (rule list is comma-separated).  Worded to not match itself: a doc
+#: comment spelling out the full pragma syntax would register as a
+#: real file-wide suppression in this very file.
 _PRAGMA_RE = re.compile(r"#\s*slackerlint:\s*disable=([A-Z0-9_,\s]+)")
 
 
@@ -68,15 +74,46 @@ class Finding:
 
 @dataclass
 class Pragmas:
-    """Suppressions extracted from a file's comments."""
+    """Suppressions extracted from a file's comments.
 
-    file_disabled: set[str] = field(default_factory=set)
+    Matched suppressions are recorded (``used_file`` / ``used_line``) so
+    the CLI's ``--show-unused-pragmas`` can report pragmas that no longer
+    suppress anything and would otherwise rot in place.
+    """
+
+    #: rule id -> line of the standalone pragma comment that disabled it.
+    file_disabled: dict[str, int] = field(default_factory=dict)
     line_disabled: dict[int, set[str]] = field(default_factory=dict)
+    #: rule ids whose file-wide pragma suppressed at least one finding.
+    used_file: set[str] = field(default_factory=set)
+    #: (line, rule id) pairs whose line pragma suppressed a finding.
+    used_line: set[tuple[int, str]] = field(default_factory=set)
 
     def suppresses(self, rule_id: str, line: int) -> bool:
         if rule_id in self.file_disabled:
+            self.used_file.add(rule_id)
             return True
-        return rule_id in self.line_disabled.get(line, ())
+        if rule_id in self.line_disabled.get(line, ()):
+            self.used_line.add((line, rule_id))
+            return True
+        return False
+
+    def unused(self, ran_rules: set[str]) -> list[tuple[int, str]]:
+        """(line, rule) of pragmas that suppressed nothing.
+
+        Only rules in ``ran_rules`` (rules that actually executed on this
+        file) are considered: a pragma for a rule the configuration
+        scoped away is defensive, not stale.
+        """
+        stale: list[tuple[int, str]] = []
+        for rule_id, line in self.file_disabled.items():
+            if rule_id in ran_rules and rule_id not in self.used_file:
+                stale.append((line, rule_id))
+        for line, rules in self.line_disabled.items():
+            for rule_id in rules:
+                if rule_id in ran_rules and (line, rule_id) not in self.used_line:
+                    stale.append((line, rule_id))
+        return sorted(stale)
 
 
 def parse_pragmas(source: str) -> Pragmas:
@@ -97,7 +134,8 @@ def parse_pragmas(source: str) -> Pragmas:
         before = tok.line[: tok.start[1]]
         if before.strip() == "":
             # Standalone comment line: file-wide suppression.
-            pragmas.file_disabled.update(rules)
+            for rule_id in rules:
+                pragmas.file_disabled.setdefault(rule_id, line_no)
         else:
             pragmas.line_disabled.setdefault(line_no, set()).update(rules)
     return pragmas
@@ -218,29 +256,52 @@ class Rule(ast.NodeVisitor):
         return self.findings
 
 
+def merge_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Deduplicate exact-duplicate findings and impose the stable order.
+
+    Multiple rules may legitimately fire on the same line (each keeps
+    its own finding), but the same (path, line, col, rule, message)
+    reported twice — e.g. by a per-file and a project pass sharing a
+    detector — collapses to one.  Order is (path, line, col, rule,
+    message), so output is reproducible across runs and pass order.
+    """
+    return sorted(dict.fromkeys(findings))
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     rel_path: Optional[str] = None,
     config: Optional[LintConfig] = None,
+    pragmas: Optional[Pragmas] = None,
+    tree: Optional[ast.AST] = None,
+    ran_rules: Optional[set[str]] = None,
 ) -> list[Finding]:
-    """Lint python ``source`` text; the workhorse behind :func:`lint_file`."""
+    """Lint python ``source`` text; the workhorse behind :func:`lint_file`.
+
+    ``pragmas`` and ``tree`` let a caller that already parsed the file
+    (the project engine) share its work — and, for pragmas, accumulate
+    suppression usage across passes.  ``ran_rules``, when given, is
+    filled with the ids of rules that actually executed on this file.
+    """
     config = config or LintConfig()
     rel = rel_path if rel_path is not None else path
     rel = rel.replace("\\", "/")
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 0,
-                col=(exc.offset or 0),
-                rule="E000",
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    pragmas = parse_pragmas(source)
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 0,
+                    col=(exc.offset or 0),
+                    rule="E000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
+    if pragmas is None:
+        pragmas = parse_pragmas(source)
     ctx = FileContext(
         path=path,
         rel_path=rel,
@@ -251,15 +312,20 @@ def lint_source(
     )
     findings: list[Finding] = []
     for rule_id, rule_cls in sorted(_REGISTRY.items()):
-        if rule_id in config.disable or rule_id in pragmas.file_disabled:
+        if rule_id in config.disable:
             continue
         rule = rule_cls(ctx)
         if not rule.applies_to(rel):
             continue
+        if ran_rules is not None:
+            ran_rules.add(rule_id)
+        # File-disabled rules still run so pragma usage is recorded
+        # (an unmatched file pragma is reportable as stale); their
+        # findings are filtered below like line-level suppressions.
         for finding in rule.run():
             if not pragmas.suppresses(finding.rule, finding.line):
                 findings.append(finding)
-    return sorted(findings)
+    return merge_findings(findings)
 
 
 def lint_file(
@@ -318,4 +384,4 @@ def lint_paths(
     findings: list[Finding] = []
     for file_path in iter_python_files(paths):
         findings.extend(lint_file(file_path, config=config, root=root))
-    return sorted(findings)
+    return merge_findings(findings)

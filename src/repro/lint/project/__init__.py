@@ -1,0 +1,35 @@
+"""Project-level static analysis: import/symbol/call graph + dataflow.
+
+Where ``repro.lint`` proper checks one file at a time, this subpackage
+builds a whole-program view of ``src/``, ``scripts/``, and
+``benchmarks/`` — module graph, symbol table, best-effort call graph,
+and a lightweight intra-procedural units dataflow — and runs the
+cross-module SLK101–SLK105 rule family on it:
+
+* **SLK101** — sim-process blocking-call reachability,
+* **SLK102** — protocol message/handler exhaustiveness,
+* **SLK103** — migration state-machine conformance,
+* **SLK104** — units-flow mismatches (seconds/millis/bytes/pages),
+* **SLK105** — cross-module obs-name resolution.
+
+Entry point: :func:`analyze_project` (or ``python -m repro.lint
+--project`` on the command line, with text/JSON/SARIF output and a
+content-hash result cache for cheap CI reruns).
+"""
+
+from __future__ import annotations
+
+from .engine import ProjectResult, analyze_project
+from .graph import ClassInfo, FunctionInfo, ModuleInfo, ProjectGraph
+from .rules import ProjectRule, all_project_rules
+
+__all__ = [
+    "ProjectGraph",
+    "ModuleInfo",
+    "ClassInfo",
+    "FunctionInfo",
+    "ProjectRule",
+    "ProjectResult",
+    "all_project_rules",
+    "analyze_project",
+]

@@ -1,0 +1,116 @@
+"""Content-hash result cache for lint runs.
+
+CI reruns the linter on every push; most pushes change a handful of
+files and none of the lint inputs.  The cache keys a run by a single
+sha256 over (a) the source of the lint package itself — a rule change
+invalidates everything, (b) the resolved configuration, and (c) the
+relative path + content hash of every file in the run.  Any byte of
+difference anywhere produces a different key, so entries never need
+invalidation — stale keys are simply never looked up again (``prune``
+keeps the directory from growing without bound).
+
+Only findings are cached.  Unused-pragma accounting needs the rules to
+actually execute, so the runner bypasses the cache when that report is
+requested.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+from ..config import LintConfig
+from ..framework import Finding, _relative_to_root, iter_python_files
+
+__all__ = ["DEFAULT_CACHE_DIR", "cache_key", "load", "store", "prune"]
+
+DEFAULT_CACHE_DIR = ".slackerlint_cache"
+
+#: Cache format version; bump when the stored shape changes.
+_FORMAT = 2
+
+
+def _lint_package_hash() -> str:
+    """sha256 over the lint package's own source files."""
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(path.relative_to(package_root).as_posix().encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def cache_key(
+    paths: Iterable[str | Path],
+    config: LintConfig,
+    root: Optional[Path] = None,
+    project: bool = False,
+) -> Optional[str]:
+    """Run key, or None when any input file is unreadable."""
+    digest = hashlib.sha256()
+    digest.update(str(_FORMAT).encode())
+    digest.update(_lint_package_hash().encode())
+    digest.update(repr(config).encode())
+    digest.update(b"project" if project else b"files")
+    for file_path in iter_python_files(paths):
+        file_path = Path(file_path)
+        try:
+            content = file_path.read_bytes()
+        except OSError:
+            return None
+        digest.update(_relative_to_root(file_path, root).encode())
+        digest.update(hashlib.sha256(content).digest())
+    return digest.hexdigest()
+
+
+def load(cache_dir: str | Path, key: str) -> Optional[list[Finding]]:
+    """Cached findings for ``key``, or None on miss/corruption."""
+    entry = Path(cache_dir) / f"{key}.json"
+    try:
+        data = json.loads(entry.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if data.get("format") != _FORMAT:
+        return None
+    try:
+        return [Finding(**item) for item in data["findings"]]
+    except (KeyError, TypeError):
+        return None
+
+
+def store(cache_dir: str | Path, key: str, findings: list[Finding]) -> None:
+    """Persist ``findings`` under ``key``; failures are silent (cache
+    misses are always correct, just slower)."""
+    cache_dir = Path(cache_dir)
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": _FORMAT,
+            "findings": [f.to_dict() for f in findings],
+        }
+        tmp = cache_dir / f"{key}.tmp"
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(cache_dir / f"{key}.json")
+    except OSError:
+        pass
+
+
+def prune(cache_dir: str | Path, keep: int = 32) -> None:
+    """Drop all but the ``keep`` most recently touched entries."""
+    cache_dir = Path(cache_dir)
+    if not cache_dir.is_dir():
+        return
+    entries = sorted(
+        cache_dir.glob("*.json"),
+        key=lambda p: p.stat().st_mtime,
+        reverse=True,
+    )
+    for stale in entries[keep:]:
+        try:
+            stale.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,262 @@
+"""Lightweight intra-procedural units dataflow (rule SLK104).
+
+Quantities in this codebase follow naming conventions anchored by
+``resources/units.py``: seconds (floats), milliseconds (``*_ms``),
+bytes (``*_bytes``), pages (``*_pages``).  This pass infers a *unit
+kind* for expressions from
+
+* the name conventions above (variables, attributes, parameters),
+* the ``units`` constructors/converters (``from_millis`` returns
+  seconds, ``to_millis`` milliseconds, ``KB``/``MB``/``GB``/
+  ``PAGE_SIZE`` are byte counts),
+
+and flows kinds through straight-line assignments.  It flags only the
+unambiguous mistakes: ``+``/``-``/comparisons mixing two *known,
+different* kinds, assigning a known kind into a name that declares a
+different one, and passing a known kind to a project-local parameter
+declaring a different one.  Multiplication and division deliberately
+erase the kind (they change the dimension: bytes / seconds is a rate),
+and anything unknown stays unknown — no finding is ever produced from
+an inference the pass is not sure of.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Optional
+
+from .graph import dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .graph import FunctionInfo, ModuleInfo, ProjectGraph
+
+__all__ = ["KINDS", "kind_of_name", "check_function"]
+
+#: The unit-kind lattice (plus implicit ``None`` = unknown).
+KINDS = ("seconds", "millis", "bytes", "pages")
+
+#: Name conventions, tried in order; first match wins.
+_KIND_PATTERNS: tuple[tuple[str, re.Pattern], ...] = (
+    ("millis", re.compile(r"(_ms|_millis|^millis)$")),
+    ("seconds", re.compile(r"(_seconds|^seconds|_secs|duration|downtime)$")),
+    ("bytes", re.compile(r"(_bytes|^nbytes|_nbytes)$|^bytes_")),
+    ("pages", re.compile(r"(_pages|^npages|^pages)$")),
+)
+
+#: units-module symbols -> the kind of the value they denote/return.
+_UNITS_VALUE_KINDS = {
+    "repro.resources.units.KB": "bytes",
+    "repro.resources.units.MB": "bytes",
+    "repro.resources.units.GB": "bytes",
+    "repro.resources.units.PAGE_SIZE": "bytes",
+}
+_UNITS_CALL_KINDS = {
+    "repro.resources.units.from_millis": "seconds",
+    "repro.resources.units.to_millis": "millis",
+    "repro.resources.units.mb_per_sec": None,  # a rate, not in the lattice
+    "repro.resources.units.to_mb": None,
+    "repro.resources.units.to_mb_per_sec": None,
+}
+
+
+def kind_of_name(name: str) -> Optional[str]:
+    """Unit kind a bare name declares by convention, or None."""
+    lowered = name.lower()
+    for kind, pattern in _KIND_PATTERNS:
+        if pattern.search(lowered):
+            return kind
+    return None
+
+
+class _UnitsChecker(ast.NodeVisitor):
+    """One function's worth of inference; accumulates (node, message)."""
+
+    def __init__(
+        self, func: "FunctionInfo", module: "ModuleInfo", graph: "ProjectGraph"
+    ):
+        self.func = func
+        self.module = module
+        self.graph = graph
+        self.env: dict[str, Optional[str]] = {}
+        self.problems: list[tuple[ast.AST, str]] = []
+        for param in func.params:
+            kind = kind_of_name(param)
+            if kind is not None:
+                self.env[param] = kind
+
+    # -- inference -----------------------------------------------------------
+
+    def kind(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            dotted = node.id
+            resolved = self.graph.resolve(self.module, dotted)
+            if resolved in _UNITS_VALUE_KINDS:
+                return _UNITS_VALUE_KINDS[resolved]
+            return kind_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            dotted = dotted_name(node)
+            if dotted is not None:
+                resolved = self.graph.resolve(self.module, dotted)
+                if resolved in _UNITS_VALUE_KINDS:
+                    return _UNITS_VALUE_KINDS[resolved]
+            return kind_of_name(node.attr)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                left = self.kind(node.left)
+                right = self.kind(node.right)
+                if left is not None and right is not None and left != right:
+                    return None  # the mismatch is reported by visit_BinOp
+                return left if left is not None else right
+            return None  # *, /, //, % ... change the dimension
+        if isinstance(node, ast.UnaryOp):
+            return self.kind(node.operand)
+        if isinstance(node, ast.IfExp):
+            body, orelse = self.kind(node.body), self.kind(node.orelse)
+            return body if body == orelse else None
+        if isinstance(node, ast.Call):
+            raw = dotted_name(node.func)
+            if raw is None:
+                return None
+            if raw in ("min", "max") and node.args and not node.keywords:
+                kinds = {self.kind(arg) for arg in node.args}
+                if len(kinds) == 1:
+                    return kinds.pop()
+                return None
+            resolved = self.graph.resolve(self.module, raw)
+            if resolved in _UNITS_CALL_KINDS:
+                return _UNITS_CALL_KINDS[resolved]
+            # A project function whose *name* declares its return kind
+            # (e.g. ``pending_bytes()``).
+            tail = resolved.rsplit(".", 1)[-1]
+            if resolved in self.graph.functions:
+                return kind_of_name(tail)
+            return None
+        return None
+
+    # -- checks --------------------------------------------------------------
+
+    def _mismatch(self, node: ast.AST, what: str, left: str, right: str) -> None:
+        self.problems.append(
+            (
+                node,
+                f"units mismatch: {what} mixes {left} with {right} — "
+                "convert explicitly via resources.units "
+                "(from_millis/to_millis, KB/MB/GB) so the dimension "
+                "stays auditable",
+            )
+        )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            left = self.kind(node.left)
+            right = self.kind(node.right)
+            if left is not None and right is not None and left != right:
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                self._mismatch(node, f"`{op}`", left, right)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        kinds = [self.kind(op) for op in operands]
+        known = [k for k in kinds if k is not None]
+        if len(known) >= 2 and len(set(known)) > 1:
+            self._mismatch(node, "comparison", known[0], known[1])
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value_kind = self.kind(node.value)
+        for target in node.targets:
+            self._assign(target, value_kind)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._assign(node.target, self.kind(node.value))
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            target_kind = self.kind(node.target)
+            value_kind = self.kind(node.value)
+            if (
+                target_kind is not None
+                and value_kind is not None
+                and target_kind != value_kind
+            ):
+                op = "+=" if isinstance(node.op, ast.Add) else "-="
+                self._mismatch(node, f"`{op}`", target_kind, value_kind)
+        self.generic_visit(node)
+
+    def _assign(self, target: ast.expr, value_kind: Optional[str]) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        declared = kind_of_name(target.id)
+        if (
+            declared is not None
+            and value_kind is not None
+            and declared != value_kind
+        ):
+            self._mismatch(
+                target, f"assignment to `{target.id}`", declared, value_kind
+            )
+        # Flow-sensitive enough for straight-line code: later uses of
+        # the name see the assigned kind (or the declared one).
+        self.env[target.id] = value_kind if value_kind is not None else declared
+
+    def visit_Call(self, node: ast.Call) -> None:
+        raw = dotted_name(node.func)
+        if raw is not None:
+            callee = self._project_callee(raw)
+            if callee is not None:
+                self._check_call_boundary(node, callee)
+        self.generic_visit(node)
+
+    def _project_callee(self, raw: str):
+        if raw.startswith("self.") and self.func.cls is not None:
+            rest = raw[len("self.") :]
+            if "." not in rest:
+                return self.graph.lookup_method(self.module, self.func.cls, rest)
+            return None
+        resolved = self.graph.resolve(self.module, raw)
+        return self.graph.functions.get(resolved)
+
+    def _check_call_boundary(self, node: ast.Call, callee) -> None:
+        params = list(callee.params)
+        if callee.cls is not None and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        for param, arg in zip(params, node.args):
+            self._check_arg(node, callee, param, arg)
+        by_name = set(params)
+        for keyword in node.keywords:
+            if keyword.arg is not None and keyword.arg in by_name:
+                self._check_arg(node, callee, keyword.arg, keyword.value)
+
+    def _check_arg(self, node: ast.Call, callee, param: str, arg: ast.expr) -> None:
+        declared = kind_of_name(param)
+        if declared is None:
+            return
+        actual = self.kind(arg)
+        if actual is not None and actual != declared:
+            self.problems.append(
+                (
+                    arg,
+                    f"units mismatch: argument for `{param}` of "
+                    f"`{callee.name}()` carries {actual}, parameter "
+                    f"declares {declared} — convert via resources.units "
+                    "at the call site",
+                )
+            )
+
+
+def check_function(
+    func: "FunctionInfo", module: "ModuleInfo", graph: "ProjectGraph"
+) -> list[tuple[ast.AST, str]]:
+    """Run the units checker over one function; (node, message) pairs."""
+    checker = _UnitsChecker(func, module, graph)
+    body = func.node.body if isinstance(func.node.body, list) else [func.node.body]
+    for stmt in body:
+        checker.visit(stmt)
+    return checker.problems

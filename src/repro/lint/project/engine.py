@@ -1,0 +1,57 @@
+"""Project analysis driver: build the graph once, run every rule on it."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from ..config import LintConfig
+from ..framework import Finding, merge_findings
+from .graph import ProjectGraph
+from .rules import all_project_rules
+
+__all__ = ["ProjectResult", "analyze_project"]
+
+
+@dataclass
+class ProjectResult:
+    """Outcome of one project-level analysis pass."""
+
+    graph: ProjectGraph
+    findings: list[Finding]
+    #: module path -> ids of project rules that ran on that module
+    #: (feeds the unused-pragma accounting alongside the per-file pass).
+    ran_by_file: dict[str, set[str]] = field(default_factory=dict)
+
+
+def analyze_project(
+    paths: Iterable[str | Path],
+    config: Optional[LintConfig] = None,
+    root: Optional[Path] = None,
+    graph: Optional[ProjectGraph] = None,
+) -> ProjectResult:
+    """Run all registered project rules over ``paths``.
+
+    ``graph`` lets a caller that already built one (the CLI runner,
+    which shares parsed trees with the per-file pass) skip the reparse.
+    Unparseable files surface as E000/E001 findings, same as the
+    per-file pass.
+    """
+    config = config or LintConfig()
+    if graph is None:
+        graph = ProjectGraph.build(paths, root=root)
+    findings: list[Finding] = list(graph.errors)
+    ran_by_file: dict[str, set[str]] = {}
+    for rule_id, rule_cls in sorted(all_project_rules().items()):
+        if rule_id in config.disable:
+            continue
+        rule = rule_cls()
+        for module in rule.scope(graph, config):
+            ran_by_file.setdefault(module.path, set()).add(rule_id)
+        findings.extend(rule.run(graph, config))
+    return ProjectResult(
+        graph=graph,
+        findings=merge_findings(findings),
+        ran_by_file=ran_by_file,
+    )

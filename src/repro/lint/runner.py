@@ -1,0 +1,96 @@
+"""Orchestrate per-file and project passes over one parse of the tree.
+
+The CLI's engine room.  Files are parsed exactly once (by the project
+graph builder); the same trees and pragma tables feed both the
+per-file rules and the project rules, so suppression *usage* is
+accumulated across passes and ``--show-unused-pragmas`` sees the whole
+picture.  Results are optionally memoized in a content-hash cache
+(:mod:`repro.lint.project.cache`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .config import LintConfig
+from .framework import Finding, lint_source, merge_findings
+from .project import cache as result_cache
+from .project.engine import analyze_project
+from .project.graph import ProjectGraph
+
+__all__ = ["LintRun", "run_lint"]
+
+
+@dataclass
+class LintRun:
+    """Everything one lint invocation produced."""
+
+    findings: list[Finding]
+    #: (path, line, rule id) of pragmas that suppressed nothing.
+    unused_pragmas: list[tuple[str, int, str]] = field(default_factory=list)
+    cache_hit: bool = False
+
+
+def run_lint(
+    paths: Iterable[str | Path],
+    config: Optional[LintConfig] = None,
+    root: Optional[Path] = None,
+    project: bool = False,
+    use_cache: bool = False,
+    cache_dir: str | Path = result_cache.DEFAULT_CACHE_DIR,
+    collect_unused: bool = False,
+) -> LintRun:
+    """Lint ``paths``; with ``project`` the SLK10x rules run too.
+
+    ``collect_unused`` forces a full run (the cache stores findings
+    only — pragma usage requires the rules to execute).
+    """
+    config = config or LintConfig()
+    paths = [Path(p) for p in paths]
+    use_cache = use_cache and not collect_unused
+    key: Optional[str] = None
+    if use_cache:
+        key = result_cache.cache_key(paths, config, root=root, project=project)
+        if key is not None:
+            cached = result_cache.load(cache_dir, key)
+            if cached is not None:
+                return LintRun(findings=cached, cache_hit=True)
+
+    graph = ProjectGraph.build(paths, root=root)
+    findings: list[Finding] = list(graph.errors)
+    ran_by_file: dict[str, set[str]] = {}
+    for module in graph.modules.values():
+        ran: set[str] = set()
+        findings.extend(
+            lint_source(
+                module.source,
+                path=module.path,
+                rel_path=module.rel_path,
+                config=config,
+                pragmas=module.pragmas,
+                tree=module.tree,
+                ran_rules=ran,
+            )
+        )
+        ran_by_file[module.path] = ran
+    if project:
+        result = analyze_project(paths, config=config, root=root, graph=graph)
+        findings.extend(result.findings)
+        for path, ran in result.ran_by_file.items():
+            ran_by_file.setdefault(path, set()).update(ran)
+
+    findings = merge_findings(findings)
+    unused: list[tuple[str, int, str]] = []
+    if collect_unused:
+        for module in graph.modules.values():
+            ran = ran_by_file.get(module.path, set())
+            for line, rule_id in module.pragmas.unused(ran):
+                unused.append((module.path, line, rule_id))
+        unused.sort()
+
+    if use_cache and key is not None:
+        result_cache.store(cache_dir, key, findings)
+        result_cache.prune(cache_dir)
+    return LintRun(findings=findings, unused_pragmas=unused)

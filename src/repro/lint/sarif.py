@@ -1,0 +1,94 @@
+"""Render findings as SARIF 2.1.0 for code-scanning uploads.
+
+One run, one driver ("slackerlint"), one rule entry per registered
+rule (per-file and project), one result per finding.  Only the subset
+of SARIF that GitHub code scanning and IDE SARIF viewers consume is
+emitted: ruleId, message, and a physical location with region.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .framework import Finding, all_rules
+from .project.rules import all_project_rules
+
+__all__ = ["to_sarif", "render_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Findings with these ids are hard errors, not rule violations.
+_ERROR_IDS = {"E000", "E001"}
+
+
+def _rule_descriptors() -> list[dict]:
+    descriptors = []
+    merged = {**all_rules(), **all_project_rules()}
+    for rule_id in sorted(merged):
+        summary = merged[rule_id].summary or rule_id
+        descriptors.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": summary},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    for error_id in sorted(_ERROR_IDS):
+        descriptors.append(
+            {
+                "id": error_id,
+                "shortDescription": {"text": "file could not be analyzed"},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return descriptors
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 1),
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(findings: Iterable[Finding]) -> dict:
+    """SARIF log dict for ``findings``."""
+    return {
+        "version": _SARIF_VERSION,
+        "$schema": _SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "slackerlint",
+                        "informationUri": "https://example.invalid/slackerlint",
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "results": [_result(f) for f in findings],
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Iterable[Finding]) -> str:
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=True)

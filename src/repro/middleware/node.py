@@ -622,3 +622,8 @@ class SlackerNode:
             elif isinstance(message, Heartbeat):
                 self.peer_loads[message.node] = message
                 self._peer_last_seen[message.node] = self.env.now
+            elif isinstance(message, (CreateTenantReply, DeleteTenantReply)):
+                # Replies are normally consumed by the requesting client
+                # endpoint; one reaching a node's own mailbox is a late
+                # or duplicated delivery after a retry switched ports.
+                self.stats.duplicates_ignored += 1

@@ -8,11 +8,12 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.lint import lint_paths, load_pyproject_config
+from repro.lint import lint_paths, load_pyproject_config, run_lint
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src" / "repro"
 SCRIPTS = REPO_ROOT / "scripts"
+BENCHMARKS = REPO_ROOT / "benchmarks"
 
 
 def test_src_repro_and_scripts_are_lint_clean():
@@ -20,6 +21,27 @@ def test_src_repro_and_scripts_are_lint_clean():
     findings = lint_paths([SRC, SCRIPTS], config=config, root=REPO_ROOT)
     rendered = "\n".join(f.render() for f in findings)
     assert not findings, f"slackerlint findings:\n{rendered}"
+
+
+def test_project_rules_are_clean_over_the_whole_tree():
+    """The cross-module SLK10x family must also hold: no sim process
+    reaches a blocking call, the protocol registry and dispatch agree,
+    the migration state machine conforms, units do not mix, and every
+    obs name resolves in the registry."""
+    config = load_pyproject_config(REPO_ROOT / "pyproject.toml")
+    run = run_lint(
+        [SRC, SCRIPTS, BENCHMARKS],
+        config=config,
+        root=REPO_ROOT,
+        project=True,
+        collect_unused=True,
+    )
+    rendered = "\n".join(f.render() for f in run.findings)
+    assert not run.findings, f"slackerlint --project findings:\n{rendered}"
+    stale = "\n".join(
+        f"{path}:{line}: {rule}" for path, line, rule in run.unused_pragmas
+    )
+    assert not run.unused_pragmas, f"stale suppression pragmas:\n{stale}"
 
 
 def test_linter_still_detects_a_seeded_positive(tmp_path):

@@ -313,7 +313,7 @@ class TestPragmas:
             "x = f()  # slackerlint: disable=SLK001\n"
         )
         pragmas = parse_pragmas(src)
-        assert pragmas.file_disabled == {"SLK006"}
+        assert pragmas.file_disabled == {"SLK006": 1}
         assert pragmas.line_disabled == {2: {"SLK001"}}
 
 
