@@ -50,10 +50,15 @@ def main() -> None:
         detector=LatencyHotspotDetector(latency_threshold=0.6, patience=2),
         interval=10.0,
         cooldown=30.0,
+        # Wave mode: up to 2 concurrent migrations fleet-wide, each
+        # admitted against the per-node slack-budget ledger.
+        max_concurrent=2,
+        max_streams_per_node=2,
     )
     slacker.env.process(manager.run())
     print("placement manager running: snapshot every 10 s, "
-          "hot = worst tenant > 600 ms twice in a row")
+          "hot = worst tenant > 600 ms twice in a row, "
+          "waves of up to 2 budget-admitted migrations")
 
     t0 = slacker.now
     slacker.advance(40.0)
@@ -70,11 +75,11 @@ def main() -> None:
 
     print("\nmanager decisions:")
     for decision in manager.stats.decisions:
-        mark = "executed" if decision.executed else "skipped"
         extra = (f" ({decision.duration:.0f} s, downtime "
-                 f"{decision.downtime * 1000:.0f} ms)" if decision.executed else "")
+                 f"{decision.downtime * 1000:.0f} ms)"
+                 if decision.outcome == "completed" else "")
         print(f"  t={decision.time:5.0f}s  {decision.proposal.reason} "
-              f"-> {mark}{extra}")
+              f"-> {decision.outcome}{extra}")
 
     t2 = slacker.now - 60.0
     report(slacker, (1, 2, 3), t2, slacker.now, "after autonomous relief:")

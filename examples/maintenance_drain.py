@@ -1,13 +1,16 @@
-"""Rolling maintenance: drain a server with queued, cost-checked migrations.
+"""Rolling maintenance: drain a server in budget-bounded migration waves.
 
 A production chore the paper's machinery makes routine (Section 1.3's
 "system maintenance" motivation): take a server out of rotation by
-migrating every tenant off it, one latency-aware migration at a time,
-with the migration economics model confirming each move is worth it.
+migrating every tenant off it with latency-aware migrations, with the
+migration economics model confirming each move is worth it.
 
-Uses the node migration *queue* (strictly serialized: concurrent
-migrations from one server would each consume the slack the other's
-PID is trying to discover) and the admin console for the final check.
+The drain runs through the placement layer's wave executor: the
+planner spreads tenants across the surviving nodes (biggest first, so
+the makespan tracks the largest tenant), and the per-node slack-budget
+ledger admits concurrent streams only while neither endpoint's slack
+is oversubscribed — the source's outbound budget is what bounds each
+wave.  The admin console's ``drain`` verb drives the whole thing.
 
 Run::
 
@@ -19,12 +22,12 @@ from repro.core.sla import suggest_setpoint
 from repro.experiments import scaled_config
 from repro.middleware.admin import AdminConsole
 from repro.placement import CostParameters, MigrationCostBenefit
-from repro.resources import MB, mb_per_sec
+from repro.resources import mb_per_sec
 
 
 def main() -> None:
     config = scaled_config(EVALUATION, 0.25)  # 256 MB tenants
-    slacker = Slacker(config, nodes=["old-box", "new-box"])
+    slacker = Slacker(config, nodes=["old-box", "new-box", "spare-box"])
     console = AdminConsole(slacker.cluster)
     sla = LatencySla(percentile=95, bound=2.0)
 
@@ -58,18 +61,20 @@ def main() -> None:
     print(f"per-tenant migration cost ~{estimate.cost_of_migrating:.1f} "
           f"penalty units, ~{estimate.expected_migration_seconds:.0f} s each")
 
-    # Queue all three drains; the node runs them strictly one at a time.
-    node = slacker.cluster.node("old-box")
-    print("\nqueueing 3 migrations (serialized by the node)...")
-    events = [
-        node.enqueue_migration(tenant_id, "new-box", setpoint=setpoint)
-        for tenant_id in (1, 2, 3)
-    ]
-    for tenant_id, event in zip((1, 2, 3), events):
-        result = slacker.env.run(until=event)
-        print(f"  tenant {tenant_id}: {result.duration:5.1f} s at "
-              f"{result.average_rate / MB:4.1f} MB/s, "
-              f"downtime {result.downtime * 1000:4.0f} ms")
+    # One console command: the placement manager plans drain waves and
+    # the executor admits streams against the slack-budget ledger.
+    print("\ndraining old-box in budget-bounded waves...")
+    print(console.execute(f"drain old-box setpoint {setpoint * 1000:.0f}ms"))
+
+    manager = console.manager
+    print(f"\n{manager.stats.waves} waves; decisions:")
+    for decision in manager.stats.decisions:
+        extra = (f" ({decision.duration:.0f} s)"
+                 if decision.outcome == "completed" else "")
+        print(f"  t={decision.time:5.0f}s  {decision.proposal.reason} "
+              f"-> {decision.outcome}{extra}")
+    print(f"peak slack-budget use on any node: "
+          f"{manager.ledger.peak_used:.2f} of {manager.ledger.capacity:.2f}")
 
     slacker.advance(10.0)
     print()

@@ -90,14 +90,16 @@ def bench_kernel(total_events: int = 200_000, processes: int = 4) -> dict:
     }
 
 
-def bench_sweep(scale: float, jobs: int) -> dict:
+def bench_sweep(scale: float, jobs: int, chunksize: int | None = None) -> dict:
     """Time the 4-point Figure 5 sweep serially and with ``jobs`` workers."""
     started = _elapsed()
     serial = fig5_throttle_sweep.run(scale=scale, jobs=1, cache=None)
     serial_seconds = _elapsed() - started
 
     started = _elapsed()
-    parallel = fig5_throttle_sweep.run(scale=scale, jobs=jobs, cache=None)
+    parallel = fig5_throttle_sweep.run(
+        scale=scale, jobs=jobs, cache=None, chunksize=chunksize
+    )
     parallel_seconds = _elapsed() - started
 
     for rate, outcome in serial.outcomes.items():
@@ -160,6 +162,9 @@ def main() -> None:
                         help="database scale for the reference sweep")
     parser.add_argument("--jobs", type=int, default=4,
                         help="worker processes for the parallel sweep run")
+    parser.add_argument("--chunksize", type=int, default=None,
+                        help="sweep points per worker dispatch "
+                             "(default: auto, ~4 chunks per worker)")
     parser.add_argument("--out", default="BENCH_kernel.json",
                         help="trajectory file to append to")
     parser.add_argument("--skip-sweep", action="store_true",
@@ -194,7 +199,11 @@ def main() -> None:
     if args.note:
         record["note"] = args.note
     if not args.skip_sweep:
-        sweep = bench_sweep(scale=args.scale, jobs=args.jobs)
+        sweep = bench_sweep(
+            scale=args.scale, jobs=args.jobs, chunksize=args.chunksize
+        )
+        if args.chunksize is not None:
+            sweep["chunksize"] = args.chunksize
         record["sweep"] = sweep
         print(
             f"sweep:  {sweep['points']} points at scale {sweep['scale']:g}: "

@@ -7,7 +7,7 @@ from .pid import (
     PositionalPidController,
     VelocityPidController,
 )
-from .tuning import RelayResult, RelayTuner, ziegler_nichols
+from .tuning import RelayResult, RelayTuner, budget_setpoint, ziegler_nichols
 from .window import DEFAULT_TIMESTEP, DEFAULT_WINDOW, LatencyWindow
 
 __all__ = [
@@ -22,5 +22,6 @@ __all__ = [
     "RelayResult",
     "RelayTuner",
     "VelocityPidController",
+    "budget_setpoint",
     "ziegler_nichols",
 ]

@@ -20,7 +20,7 @@ from typing import Optional
 
 from .pid import PidGains
 
-__all__ = ["ziegler_nichols", "RelayTuner", "RelayResult"]
+__all__ = ["ziegler_nichols", "budget_setpoint", "RelayTuner", "RelayResult"]
 
 #: Ziegler–Nichols tuning table: variant -> (Kp/Ku, Ti/Tu, Td/Tu).
 #: Ti = inf means no integral action; Td = 0 means no derivative action.
@@ -62,6 +62,39 @@ def ziegler_nichols(
     ki = 0.0 if math.isinf(ti) else kp / ti
     kd = kp * td
     return PidGains(kp=kp, ki=ki, kd=kd)
+
+
+def budget_setpoint(
+    base_setpoint: float, share: float, baseline: float = 0.0
+) -> float:
+    """Effective latency setpoint for a stream holding a slack share.
+
+    Slacker's slack is the latency headroom between the workload's
+    baseline and the setpoint; the PID ramps the transfer until that
+    headroom is consumed.  When a node's slack budget is split across
+    concurrent streams (see
+    :class:`repro.placement.budget.SlackBudgetLedger`), each stream may
+    only consume its share of the headroom, so its controller gets a
+    proportionally tighter target::
+
+        effective = baseline + share * (base_setpoint - baseline)
+
+    ``baseline`` is the latency floor attributed to the workload itself
+    (0.0 when unknown — the conservative split).  ``share = 1.0``
+    returns ``base_setpoint`` exactly, so a lone stream is bit-identical
+    to the unbudgeted serialized path.
+    """
+    if base_setpoint <= 0:
+        raise ValueError(f"base_setpoint must be positive, got {base_setpoint}")
+    if not 0 < share <= 1:
+        raise ValueError(f"share must be in (0, 1], got {share}")
+    if not 0 <= baseline < base_setpoint:
+        raise ValueError(
+            f"baseline must be in [0, {base_setpoint}), got {baseline}"
+        )
+    if share >= 1.0:
+        return base_setpoint
+    return baseline + share * (base_setpoint - baseline)
 
 
 @dataclass(frozen=True)

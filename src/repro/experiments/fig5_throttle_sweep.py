@@ -109,15 +109,16 @@ def run(
     warmup: float = 20.0,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    chunksize: Optional[int] = None,
 ) -> Fig5Result:
     """Run the Figure 5 sweep; ``scale`` shrinks the database for speed.
 
     ``jobs`` fans the independent points across worker processes
     (results are bit-identical to ``jobs=1``); ``cache`` memoizes
-    points on disk.
+    points on disk; ``chunksize`` batches points per worker dispatch.
     """
     cfg = scaled_config(config or CASE_STUDY, scale, seed)
-    runner = SweepRunner(jobs=jobs, cache=cache)
+    runner = SweepRunner(jobs=jobs, cache=cache, chunksize=chunksize)
     points = sweep_points(cfg, scale=scale, rates_mb=rates_mb, warmup=warmup)
     return Fig5Result(outcomes=runner.run_labelled(points))
 

@@ -66,6 +66,13 @@ class LintConfig:
     #: Substrings marking a function as a message-dispatch loop for the
     #: protocol-exhaustiveness rule (SLK102).
     dispatch_markers: tuple[str, ...] = ("dispatch",)
+    #: Path prefixes where migrations must be launched through the wave
+    #: executor's budget ledger, never ``node.migrate_tenant`` directly
+    #: (SLK106); empty disables the rule.
+    placement_scope: tuple[str, ...] = ("repro/placement/",)
+    #: Path prefixes inside ``placement_scope`` that ARE the launch
+    #: path (the executor itself) and may call the node verbs.
+    placement_launch_allow: tuple[str, ...] = ("repro/placement/executor.py",)
 
     def with_extra_disabled(self, rule_ids: tuple[str, ...]) -> "LintConfig":
         merged = tuple(dict.fromkeys(self.disable + rule_ids))
@@ -99,6 +106,10 @@ def _config_from_table(table: dict) -> LintConfig:
             else defaults.obs_names_module
         ),
         dispatch_markers=_str_tuple("dispatch_markers", defaults.dispatch_markers),
+        placement_scope=_str_tuple("placement_scope", defaults.placement_scope),
+        placement_launch_allow=_str_tuple(
+            "placement_launch_allow", defaults.placement_launch_allow
+        ),
     )
 
 

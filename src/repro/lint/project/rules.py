@@ -1,4 +1,4 @@
-"""Cross-module project rules SLK101–SLK105.
+"""Cross-module project rules SLK101–SLK106.
 
 Each rule sees the whole :class:`~repro.lint.project.graph.ProjectGraph`
 rather than one file, so it can reason about reachability, registration
@@ -677,3 +677,65 @@ class ObsNameResolution(ProjectRule):
         if isinstance(node, ast.Attribute):
             return node.attr in _OBS_RECEIVERS
         return False
+
+
+# ---------------------------------------------------------------------------
+# SLK106: placement migrations go through the wave executor
+# ---------------------------------------------------------------------------
+
+#: Node verbs that launch a migration stream when called on a node.
+_LAUNCH_VERBS = frozenset({"migrate_tenant", "enqueue_migration"})
+
+
+@register_project
+class PlacementLaunchPath(ProjectRule):
+    """Placement code must launch migrations via the budget ledger.
+
+    The slack-budget invariant (no node's inbound + outbound stream
+    shares ever exceed its capacity) only holds if every migration the
+    placement layer starts is admitted through the wave executor's
+    ledger.  A direct ``node.migrate_tenant(...)`` or
+    ``node.enqueue_migration(...)`` call anywhere else under
+    ``placement_scope`` bypasses admission control — it can silently
+    oversubscribe a node the moment two code paths race.  Only the
+    modules in ``placement_launch_allow`` (the executor itself) may
+    call the node verbs.
+    """
+
+    id = "SLK106"
+    summary = (
+        "placement code launches a migration directly instead of "
+        "through the wave executor's budget ledger"
+    )
+
+    def scope(
+        self, graph: ProjectGraph, config: LintConfig
+    ) -> Iterable[ModuleInfo]:
+        if not config.placement_scope:
+            return []
+        return [
+            m
+            for m in graph.modules.values()
+            if _in_prefixes(m.rel_path, config.placement_scope)
+            and not _in_prefixes(m.rel_path, config.placement_launch_allow)
+        ]
+
+    def run(self, graph: ProjectGraph, config: LintConfig) -> list[Finding]:
+        for module in self.scope(graph, config):
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _LAUNCH_VERBS
+                ):
+                    continue
+                self.report(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"`.{node.func.attr}(...)` bypasses the wave executor's "
+                    "slack-budget admission — launch placement migrations "
+                    "through WaveExecutor (launch_wave/execute_serial) so "
+                    "per-node budgets stay enforced",
+                )
+        return self.findings

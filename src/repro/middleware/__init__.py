@@ -1,6 +1,6 @@
 """Slacker middleware: tenant management, control protocol, nodes, cluster."""
 
-from .cluster import SlackerCluster
+from .cluster import FleetSpec, SlackerCluster
 from .frontend import Frontend, TenantLocation
 from .node import NodeConfig, SlackerNode
 from .protocol import (
@@ -33,6 +33,7 @@ __all__ = [
     "DeleteTenantRequest",
     "Endpoint",
     "Envelope",
+    "FleetSpec",
     "Frontend",
     "Heartbeat",
     "MESSAGE_REGISTRY",

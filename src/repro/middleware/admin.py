@@ -11,6 +11,7 @@ Grammar::
     create tenant <id> on <node> [size <N>(MB|GB)]
     delete tenant <id>
     migrate tenant <id> to <node> [setpoint <N>ms | rate <N>MB/s]
+    drain <node> [setpoint <N>ms]
     locate tenant <id>
     status
 """
@@ -22,6 +23,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..analysis.report import Table, format_ms, format_rate
+from ..placement.manager import PlacementManager
 from ..resources.units import GB, MB
 from .cluster import SlackerCluster
 
@@ -133,6 +135,18 @@ def parse(command: str) -> AdminCommand:
             setpoint=setpoint, rate=rate,
         )
 
+    if verb == "drain":
+        if len(tokens) < 2:
+            raise AdminError("usage: drain <node> [setpoint <N>ms]")
+        node = tokens[1]
+        rest = tokens[2:]
+        setpoint = None
+        if rest:
+            if len(rest) != 2 or rest[0].lower() != "setpoint":
+                raise AdminError("usage: drain <node> [setpoint <N>ms]")
+            setpoint = _parse_setpoint(rest[1])
+        return AdminCommand(verb="drain", node=node, setpoint=setpoint)
+
     raise AdminError(f"unknown command {verb!r}")
 
 
@@ -147,9 +161,20 @@ class AdminConsole:
     #: Setpoint used when a migrate command gives no throttle option.
     DEFAULT_SETPOINT = 1.0
 
-    def __init__(self, cluster: SlackerCluster, default_tenant_bytes: int = 1 * GB):
+    #: Concurrency of a console-driven drain when no manager is given.
+    DRAIN_MAX_CONCURRENT = 4
+
+    def __init__(
+        self,
+        cluster: SlackerCluster,
+        default_tenant_bytes: int = 1 * GB,
+        manager: Optional[PlacementManager] = None,
+    ):
         self.cluster = cluster
         self.default_tenant_bytes = default_tenant_bytes
+        #: Placement manager the ``drain`` verb runs through; built on
+        #: demand (wave mode, console defaults) when not supplied.
+        self.manager = manager
         self.log: list[str] = []
 
     def execute(self, command: str) -> str:
@@ -223,4 +248,29 @@ class AdminConsole:
             f"migrated tenant {cmd.tenant_id}: {location.node} -> {cmd.node} "
             f"in {result.duration:.1f} s at {format_rate(result.average_rate)}, "
             f"downtime {format_ms(result.downtime)}"
+        )
+
+    def _do_drain(self, cmd: AdminCommand) -> str:
+        self._node(cmd.node)  # fail fast with the console's error text
+        manager = self.manager
+        if manager is None:
+            manager = PlacementManager(
+                self.cluster,
+                self.cluster.trace,
+                setpoint=cmd.setpoint or self.DEFAULT_SETPOINT,
+                max_concurrent=self.DRAIN_MAX_CONCURRENT,
+                max_streams_per_node=2,
+            )
+            self.manager = manager
+        env = self.cluster.env
+        proc = env.process(manager.drain(cmd.node, setpoint=cmd.setpoint))
+        report = env.run(until=proc)
+        if report.drained:
+            return (
+                f"drained {cmd.node}: {report.migrations} migrations "
+                f"in {report.duration:.1f} s"
+            )
+        return (
+            f"drain {cmd.node} incomplete: {report.remaining} tenants left "
+            f"after {report.duration:.1f} s ({report.aborted} aborted)"
         )

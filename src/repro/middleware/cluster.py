@@ -13,15 +13,67 @@ event-for-event identical to the pre-fault-injection transport.
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..resources.server import Server, ServerParams
+from ..resources.units import MB
 from ..simulation import Environment, RandomStreams, Trace
 from .frontend import Frontend
 from .node import NodeConfig, SlackerNode
 from .transport import MessageBus, RetryPolicy
 
-__all__ = ["SlackerCluster"]
+__all__ = ["FleetSpec", "SlackerCluster"]
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A seeded recipe for a whole fleet: N nodes, M heterogeneous tenants.
+
+    The pre-fleet constructor builds clusters node-by-node, which is
+    fine for the paper's two-to-four-server testbed but not for the
+    ROADMAP's "hundreds of nodes, thousands of tenants" scenario.  A
+    spec describes the fleet once; :meth:`SlackerCluster.build_fleet`
+    instantiates it deterministically — tenant sizes are drawn
+    log-uniform (database directory sizes are heavy-tailed) from the
+    cluster's named ``fleet:tenants`` stream, so the same seed always
+    yields the same fleet.
+    """
+
+    nodes: int
+    tenants: int
+    node_prefix: str = "node"
+    #: Smallest/largest tenant data directory, bytes (log-uniform draw).
+    min_tenant_bytes: int = 16 * MB
+    max_tenant_bytes: int = 256 * MB
+    #: "round-robin" spreads tenants evenly; "random" assigns each
+    #: tenant a uniformly-drawn node (seeded), yielding natural skew.
+    placement: str = "round-robin"
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.tenants < 0:
+            raise ValueError(f"tenants must be >= 0, got {self.tenants}")
+        if not 0 < self.min_tenant_bytes <= self.max_tenant_bytes:
+            raise ValueError(
+                f"need 0 < min_tenant_bytes <= max_tenant_bytes, got "
+                f"{self.min_tenant_bytes}..{self.max_tenant_bytes}"
+            )
+        if self.placement not in ("round-robin", "random"):
+            raise ValueError(
+                f"placement must be 'round-robin' or 'random', "
+                f"got {self.placement!r}"
+            )
+
+    def node_names(self) -> list[str]:
+        """Generated node names, zero-padded for stable sort order."""
+        width = len(str(self.nodes - 1)) if self.nodes > 1 else 1
+        return [
+            f"{self.node_prefix}-{index:0{width}d}"
+            for index in range(self.nodes)
+        ]
 
 
 class SlackerCluster:
@@ -71,6 +123,51 @@ class SlackerCluster:
         }
         for node in self.nodes.values():
             node.peers = {n: p for n, p in self.nodes.items() if p is not node}
+        #: The spec this cluster was built from, when built via
+        #: :meth:`build_fleet`; None for hand-assembled clusters.
+        self.fleet_spec: Optional[FleetSpec] = None
+
+    @classmethod
+    def build_fleet(
+        cls,
+        env: Environment,
+        spec: FleetSpec,
+        server_params: Optional[ServerParams] = None,
+        node_config: Optional[NodeConfig] = None,
+        streams: Optional[RandomStreams] = None,
+        trace: Optional[Trace] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> "SlackerCluster":
+        """Instantiate a whole fleet from a seeded :class:`FleetSpec`.
+
+        Tenant ids are dense from 0; sizes are log-uniform in
+        ``[min_tenant_bytes, max_tenant_bytes]``; placement follows
+        ``spec.placement``.  All randomness comes from the cluster's
+        ``fleet:tenants`` named stream, so a fleet is a pure function
+        of (spec, seed).
+        """
+        cluster = cls(
+            env,
+            spec.node_names(),
+            server_params=server_params,
+            node_config=node_config,
+            streams=streams,
+            trace=trace,
+            retry_policy=retry_policy,
+        )
+        names = spec.node_names()
+        rng = cluster.streams.stream("fleet:tenants")
+        log_min = math.log(spec.min_tenant_bytes)
+        log_max = math.log(spec.max_tenant_bytes)
+        for tenant_id in range(spec.tenants):
+            data_bytes = int(round(math.exp(rng.uniform(log_min, log_max))))
+            if spec.placement == "random":
+                home = names[rng.randrange(len(names))]
+            else:
+                home = names[tenant_id % len(names)]
+            cluster.nodes[home].create_tenant(tenant_id, data_bytes)
+        cluster.fleet_spec = spec
+        return cluster
 
     def node(self, name: str) -> SlackerNode:
         """Look up a node by name."""

@@ -61,6 +61,26 @@ FAULT_ACTIVATIONS_TOTAL = "faults.activations_total"
 #: Trace event: one scheduled fault firing (attrs: kind, node, duration).
 FAULT_EVENT = "faults.scheduled"
 
+# -- fleet orchestration -----------------------------------------------------
+
+#: Counter: waves that launched at least one migration.
+FLEET_WAVES_TOTAL = "fleet.waves_total"
+#: Histogram: migrations launched per wave.
+FLEET_WAVE_SIZE = "fleet.wave_size"
+#: Counter: fleet migrations completed by the wave executor.
+FLEET_MIGRATIONS_TOTAL = "fleet.migrations_total"
+#: Counter: fleet migrations that aborted mid-flight.
+FLEET_ABORTS_TOTAL = "fleet.aborts_total"
+#: Histogram: completed fleet migration durations, seconds.
+FLEET_MIGRATION_SECONDS = "fleet.migration_seconds"
+#: Gauge (per node via ``suffix=``): seconds from drain start to the
+#: last tenant leaving — the time-to-drain SLO.
+FLEET_TIME_TO_DRAIN_SECONDS = "fleet.time_to_drain_seconds"
+#: Gauge: pooled p99 tenant latency over the run, seconds (SLO).
+FLEET_P99_LATENCY_SECONDS = "fleet.p99_latency_seconds"
+#: Gauge: completed migrations per simulated hour (SLO).
+FLEET_MIGRATIONS_PER_HOUR = "fleet.migrations_per_hour"
+
 # -- resources ---------------------------------------------------------------
 
 #: Gauge (per node via ``suffix=``): disk busy fraction last interval.
@@ -98,3 +118,18 @@ PERCENT_BUCKETS = (0.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.
 FREEZE_SECONDS_BUCKETS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0)
 #: Busy fractions in [0, 1].
 UTILIZATION_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+#: Migrations per wave (powers of two: waves grow with fleet size).
+WAVE_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+#: Whole-migration durations, seconds (much longer than freezes).
+MIGRATION_SECONDS_BUCKETS = (
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+    20.0,
+    50.0,
+    100.0,
+    200.0,
+    500.0,
+    1000.0,
+)

@@ -81,6 +81,21 @@ class Observability:
             names.TRANSPORT_FAILURES_TOTAL
         )
         self.fault_activations = self.registry.counter(names.FAULT_ACTIVATIONS_TOTAL)
+        self.fleet_waves = self.registry.counter(names.FLEET_WAVES_TOTAL)
+        self.fleet_wave_size = self.registry.histogram(
+            names.FLEET_WAVE_SIZE, buckets=names.WAVE_SIZE_BUCKETS
+        )
+        self.fleet_migrations = self.registry.counter(names.FLEET_MIGRATIONS_TOTAL)
+        self.fleet_aborts = self.registry.counter(names.FLEET_ABORTS_TOTAL)
+        self.fleet_migration_seconds = self.registry.histogram(
+            names.FLEET_MIGRATION_SECONDS, buckets=names.MIGRATION_SECONDS_BUCKETS
+        )
+        self.fleet_p99_latency = self.registry.gauge(
+            names.FLEET_P99_LATENCY_SECONDS
+        )
+        self.fleet_migrations_per_hour = self.registry.gauge(
+            names.FLEET_MIGRATIONS_PER_HOUR
+        )
         self.disk_utilization_dist = self.registry.histogram(
             names.DISK_UTILIZATION_DIST, buckets=names.UTILIZATION_BUCKETS
         )
@@ -144,6 +159,41 @@ class Observability:
         self.controller_error_ms.observe(error_ms)
         self.controller_output_pct.observe(output_pct)
         self.controller_rate.set(rate)
+
+    # -- fleet hooks -----------------------------------------------------
+
+    def on_wave(self, size: int) -> None:
+        """Called by the wave executor when a wave launches migrations."""
+        self.fleet_waves.inc()
+        self.fleet_wave_size.observe(float(size))
+
+    def on_fleet_migration(
+        self, aborted: bool, seconds: Optional[float] = None
+    ) -> None:
+        """Called by the wave executor once per finished migration."""
+        if aborted:
+            self.fleet_aborts.inc()
+            return
+        self.fleet_migrations.inc()
+        if seconds is not None:
+            self.fleet_migration_seconds.observe(seconds)
+
+    def on_drain_complete(self, node: str, seconds: float) -> None:
+        """Called by the placement manager when a node fully drains."""
+        self.registry.gauge(
+            names.FLEET_TIME_TO_DRAIN_SECONDS, suffix=node
+        ).set(seconds)
+
+    def set_fleet_slos(
+        self,
+        p99_latency_seconds: Optional[float] = None,
+        migrations_per_hour: Optional[float] = None,
+    ) -> None:
+        """Record end-of-run fleet SLO values into the report metrics."""
+        if p99_latency_seconds is not None:
+            self.fleet_p99_latency.set(p99_latency_seconds)
+        if migrations_per_hour is not None:
+            self.fleet_migrations_per_hour.set(migrations_per_hour)
 
     # -- fault hooks -----------------------------------------------------
 

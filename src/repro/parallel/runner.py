@@ -38,7 +38,7 @@ from typing import Any, Optional, Sequence
 from ..core.config import ExperimentConfig
 from ..experiments.harness import MigrationSpec
 from .cache import ResultCache, code_fingerprint, point_key
-from .tasks import SINGLE_TENANT, execute
+from .tasks import SINGLE_TENANT, execute, execute_batch
 
 __all__ = ["SweepPoint", "SweepRunner", "resolve_jobs"]
 
@@ -89,9 +89,16 @@ class SweepRunner:
         self,
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
+        chunksize: Optional[int] = None,
     ):
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
+        #: Points dispatched per worker round-trip; ``None`` picks
+        #: ceil(pending / (workers * 4)) — 4 chunks per worker, enough
+        #: slack to absorb uneven point runtimes without rebalancing.
+        self.chunksize = chunksize
 
     def run(self, points: Sequence[SweepPoint]) -> list[Any]:
         """Execute ``points``, returning their records in point order."""
@@ -125,21 +132,26 @@ class SweepRunner:
                 )
         else:
             workers = min(self.jobs, len(pending))
+            chunk = self.chunksize or max(1, -(-len(pending) // (workers * 4)))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    index: pool.submit(
-                        execute,
-                        points[index].task,
-                        points[index].config,
-                        points[index].spec,
-                        points[index].kwargs,
-                    )
-                    for index in pending
-                }
+                batches = []
+                for start in range(0, len(pending), chunk):
+                    block = pending[start : start + chunk]
+                    items = [
+                        (
+                            points[index].task,
+                            points[index].config,
+                            points[index].spec,
+                            points[index].kwargs,
+                        )
+                        for index in block
+                    ]
+                    batches.append((block, pool.submit(execute_batch, items)))
                 # Collect by submission index: deterministic result
                 # order no matter which worker finishes first.
-                for index, future in futures.items():
-                    results[index] = future.result()
+                for block, future in batches:
+                    for index, record in zip(block, future.result()):
+                        results[index] = record
 
         if self.cache is not None:
             for index in pending:

@@ -3,11 +3,16 @@
 The paper's Section 8 lists these as synergistic questions around
 Slacker's "how".  This subpackage provides load monitoring, hotspot
 detection, tenant/target choosers, and an autonomous rebalancing
-manager built on Slacker's latency-aware migrations.
+manager built on Slacker's latency-aware migrations — scaled out by a
+wave planner/executor that runs concurrent migrations under per-node
+slack budgets (docs/FLEET.md).
 """
 
+from .budget import BudgetEvent, BudgetReservation, SlackBudgetLedger
 from .costs import CostEstimate, CostParameters, MigrationCostBenefit
-from .manager import PlacementDecision, PlacementManager
+from .decisions import DrainReport, PlacementDecision, PlacementStats
+from .executor import WaveExecutor, WavePlanner
+from .manager import PlacementManager
 from .monitor import LoadMonitor, NodeLoad, TenantLoad
 from .policy import (
     ConsolidationChooser,
@@ -20,9 +25,12 @@ from .policy import (
 )
 
 __all__ = [
+    "BudgetEvent",
+    "BudgetReservation",
     "ConsolidationChooser",
     "CostEstimate",
     "CostParameters",
+    "DrainReport",
     "MigrationCostBenefit",
     "GreedyReliefChooser",
     "HotspotDetector",
@@ -33,6 +41,10 @@ __all__ = [
     "PlacementChooser",
     "PlacementDecision",
     "PlacementManager",
+    "PlacementStats",
+    "SlackBudgetLedger",
     "TenantLoad",
     "UtilizationHotspotDetector",
+    "WaveExecutor",
+    "WavePlanner",
 ]

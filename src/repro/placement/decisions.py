@@ -1,0 +1,72 @@
+"""Shared placement record types: decisions, stats, drain reports.
+
+Lives below both the manager and the wave executor so each can append
+to the same :class:`PlacementStats` without a circular import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .policy import MigrationProposal
+
+__all__ = ["PlacementDecision", "PlacementStats", "DrainReport"]
+
+
+@dataclass
+class PlacementDecision:
+    """One executed (or skipped/aborted) rebalancing decision.
+
+    ``outcome`` is the authoritative disposition:
+
+    * ``"pending"`` — the migration is still in flight;
+    * ``"completed"`` — finished; ``duration``/``downtime`` are set;
+    * ``"aborted"`` — the migration rolled back mid-flight (crash,
+      dead peer, injected abort); the tenant stayed at the source;
+    * ``"skipped"`` — the proposal was stale (tenant already gone).
+
+    ``executed`` is kept as the legacy boolean view
+    (``outcome == "completed"``) for pre-wave callers.
+    """
+
+    time: float
+    proposal: MigrationProposal
+    executed: bool
+    duration: Optional[float] = None
+    downtime: Optional[float] = None
+    outcome: str = "pending"
+
+
+@dataclass
+class PlacementStats:
+    """Running counters for one manager/executor pair."""
+
+    snapshots: int = 0
+    migrations: int = 0
+    skipped: int = 0
+    #: Migrations that started but rolled back (MigrationAborted).
+    aborted: int = 0
+    #: Waves that launched at least one migration.
+    waves: int = 0
+    decisions: list[PlacementDecision] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class DrainReport:
+    """Outcome of one ``PlacementManager.drain`` run."""
+
+    node: str
+    #: Simulated seconds from drain start to the last tenant leaving
+    #: (or to giving up).
+    duration: float
+    #: Migrations completed on behalf of this drain.
+    migrations: int
+    #: Migrations aborted during the drain (retried in later waves).
+    aborted: int
+    #: Tenants still on the node when the drain returned (0 = success).
+    remaining: int
+
+    @property
+    def drained(self) -> bool:
+        return self.remaining == 0

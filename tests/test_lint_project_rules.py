@@ -1,4 +1,4 @@
-"""Project rules SLK101-SLK105, the runner, cache, SARIF, and CLI.
+"""Project rules SLK101-SLK106, the runner, cache, SARIF, and CLI.
 
 Each rule gets a minimal fixture tree that satisfies the invariant and
 a deliberately broken variant that must be caught — the gate is only
@@ -667,6 +667,101 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in ("SLK001", "SLK101", "SLK102", "SLK103", "SLK104", "SLK105"):
             assert rule_id in out
+
+
+class TestSLK106PlacementLaunchPath:
+    def test_direct_migrate_tenant_is_flagged(self, tmp_path):
+        findings = project_findings(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/placement/__init__.py": "",
+                "repro/placement/manager.py": """
+                def relieve(env, node, proposal):
+                    yield env.process(
+                        node.migrate_tenant(proposal.tenant_id, proposal.target)
+                    )
+                """,
+            },
+            rule="SLK106",
+        )
+        assert len(findings) == 1
+        assert "migrate_tenant" in findings[0].message
+        assert "budget" in findings[0].message
+
+    def test_enqueue_migration_is_flagged(self, tmp_path):
+        findings = project_findings(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/placement/__init__.py": "",
+                "repro/placement/policy.py": """
+                def queue_all(node, proposals):
+                    for proposal in proposals:
+                        node.enqueue_migration(proposal.tenant_id, proposal.target)
+                """,
+            },
+            rule="SLK106",
+        )
+        assert len(findings) == 1
+
+    def test_executor_is_on_the_allow_list(self, tmp_path):
+        findings = project_findings(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/placement/__init__.py": "",
+                "repro/placement/executor.py": """
+                def launch(env, node, proposal, setpoint):
+                    return env.process(
+                        node.migrate_tenant(
+                            proposal.tenant_id, proposal.target, setpoint=setpoint
+                        )
+                    )
+                """,
+            },
+            rule="SLK106",
+        )
+        assert findings == []
+
+    def test_outside_placement_scope_is_exempt(self, tmp_path):
+        findings = project_findings(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/middleware/__init__.py": "",
+                "repro/middleware/admin.py": """
+                def do_migrate(env, source, tenant_id, target):
+                    proc = env.process(source.migrate_tenant(tenant_id, target))
+                    return env.run(until=proc)
+                """,
+            },
+            rule="SLK106",
+        )
+        assert findings == []
+
+    def test_pragma_suppresses_at_call_site(self, tmp_path):
+        findings = project_findings(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/placement/__init__.py": "",
+                "repro/placement/manager.py": (
+                    "def relieve(node, proposal):\n"
+                    "    node.migrate_tenant(  # slackerlint: disable=SLK106\n"
+                    "        proposal.tenant_id, proposal.target\n"
+                    "    )\n"
+                ),
+            },
+            rule="SLK106",
+        )
+        assert findings == []
+
+    def test_real_placement_tree_is_clean(self):
+        """The shipped placement package itself obeys the invariant."""
+        result = analyze_project([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)
+        launches = [f for f in result.findings if f.rule == "SLK106"]
+        assert launches == []
 
 
 class TestTiming:
