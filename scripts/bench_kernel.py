@@ -12,17 +12,30 @@ perf history):
    so the comparison is honest, and the two results are checked for
    bit-identical latency series before timings are recorded.
 
+Optionally it also times a fleet-scale run:
+
+3. **Fleet drain** (``--fleet``) — the 100-node/1000-tenant drain
+   scenario, reported as wall seconds, kernel events/sec, and the
+   events the coalesced timers *elided* (the ticks an eager one-event-
+   per-tick implementation would have processed on top).
+
 Usage::
 
     python scripts/bench_kernel.py [--scale 0.5] [--jobs 4]
                                    [--events 200000] [--out BENCH_kernel.json]
                                    [--skip-sweep] [--gate-pct 3]
+                                   [--sweep-gate-pct 5] [--fleet]
 
 With ``--gate-pct N`` the run also *gates*: after appending its record
 it compares kernel events/sec against the most recent prior record in
 the trajectory file and exits non-zero if throughput dropped by more
 than N percent.  The benchmark runs with observability disabled, so
 this is the backstop that keeps the obs layer's no-op path free.
+
+``--sweep-gate-pct N`` gates parallel dispatch overhead instead: the
+warm-pool parallel sweep must finish within N percent of the serial
+wall time (on a multi-core box it should beat it outright), so a
+regression in pool dispatch, pickling, or worker start-up fails CI.
 """
 
 from __future__ import annotations
@@ -34,7 +47,8 @@ import subprocess
 import time
 from pathlib import Path
 
-from repro.experiments import fig5_throttle_sweep
+from repro.experiments import fig5_throttle_sweep, fleet_sweep
+from repro.parallel import WorkerPool
 from repro.simulation.core import Environment
 
 
@@ -79,9 +93,9 @@ def bench_kernel(total_events: int = 200_000, processes: int = 4) -> dict:
     started = _elapsed()
     env.run()
     seconds = _elapsed() - started
-    # _eid is the scheduling tiebreaker counter (timeouts + process
-    # events); its next value is exactly how many events were scheduled.
-    events = next(env._eid)
+    # The drained run processed every event it scheduled, so the
+    # kernel's processed-event counter is the exact event total.
+    events = env.processed_events
     return {
         "processes": processes,
         "events": events,
@@ -91,16 +105,30 @@ def bench_kernel(total_events: int = 200_000, processes: int = 4) -> dict:
 
 
 def bench_sweep(scale: float, jobs: int, chunksize: int | None = None) -> dict:
-    """Time the 4-point Figure 5 sweep serially and with ``jobs`` workers."""
+    """Time the 4-point Figure 5 sweep serially and with ``jobs`` workers.
+
+    The parallel leg runs twice on one shared :class:`WorkerPool`: the
+    first run pays worker start-up (``parallel_cold_seconds``), the
+    second reuses the warm workers (``parallel_seconds``) — the number
+    a multi-sweep driver actually sees per sweep, and the one the
+    ``--sweep-gate-pct`` dispatch-overhead gate judges.
+    """
     started = _elapsed()
     serial = fig5_throttle_sweep.run(scale=scale, jobs=1, cache=None)
     serial_seconds = _elapsed() - started
 
-    started = _elapsed()
-    parallel = fig5_throttle_sweep.run(
-        scale=scale, jobs=jobs, cache=None, chunksize=chunksize
-    )
-    parallel_seconds = _elapsed() - started
+    with WorkerPool(jobs) as pool:
+        started = _elapsed()
+        fig5_throttle_sweep.run(
+            scale=scale, jobs=jobs, cache=None, chunksize=chunksize, pool=pool
+        )
+        cold_seconds = _elapsed() - started
+
+        started = _elapsed()
+        parallel = fig5_throttle_sweep.run(
+            scale=scale, jobs=jobs, cache=None, chunksize=chunksize, pool=pool
+        )
+        parallel_seconds = _elapsed() - started
 
     for rate, outcome in serial.outcomes.items():
         mine, theirs = outcome, parallel.outcomes[rate]
@@ -115,8 +143,39 @@ def bench_sweep(scale: float, jobs: int, chunksize: int | None = None) -> dict:
         "points": len(serial.outcomes),
         "jobs": jobs,
         "serial_seconds": round(serial_seconds, 3),
+        "parallel_cold_seconds": round(cold_seconds, 3),
         "parallel_seconds": round(parallel_seconds, 3),
         "speedup": round(serial_seconds / parallel_seconds, 2),
+    }
+
+
+def bench_fleet(nodes: int = 100, tenants: int = 1000) -> dict:
+    """Time the fleet drain scenario once, in-process.
+
+    Alongside wall time and events/sec, reports how many tick events
+    the coalesced timers elided: ``events + elided_events`` is what the
+    same bit-identical trajectory would have cost with one event per
+    heartbeat/detector/refill tick.
+    """
+    points = fleet_sweep.sweep_points(None, nodes=nodes, tenants=tenants)
+    drain = next(p for p in points if p.label == "drain")
+    started = _elapsed()
+    record = fleet_sweep.fleet_point(drain.config, drain.spec, **drain.kwargs)
+    seconds = _elapsed() - started
+    naive = record.events + record.elided
+    return {
+        "scenario": "drain",
+        "nodes": nodes,
+        "tenants": tenants,
+        "ok": record.ok,
+        "fingerprint": record.fingerprint,
+        "sim_end": round(record.sim_end, 3),
+        "seconds": round(seconds, 3),
+        "events": record.events,
+        "events_per_sec": round(record.events / seconds),
+        "elided_events": record.elided,
+        "event_reduction_pct": round(100.0 * record.elided / naive, 1)
+        if naive else 0.0,
     }
 
 
@@ -175,6 +234,16 @@ def main() -> None:
                         help="fail if kernel events/sec regresses more "
                              "than this percentage vs the latest prior "
                              "record in --out")
+    parser.add_argument("--sweep-gate-pct", type=float, default=None,
+                        help="fail if the warm-pool parallel sweep takes "
+                             "more than this percentage longer than the "
+                             "serial run (dispatch-overhead gate)")
+    parser.add_argument("--fleet", action="store_true",
+                        help="also time the 100-node/1000-tenant fleet "
+                             "drain and record events, events/sec, and "
+                             "the coalescing event reduction")
+    parser.add_argument("--fleet-nodes", type=int, default=100)
+    parser.add_argument("--fleet-tenants", type=int, default=1000)
     args = parser.parse_args()
 
     baseline = (
@@ -208,12 +277,43 @@ def main() -> None:
         print(
             f"sweep:  {sweep['points']} points at scale {sweep['scale']:g}: "
             f"serial {sweep['serial_seconds']:.2f} s, "
-            f"jobs={sweep['jobs']} {sweep['parallel_seconds']:.2f} s "
+            f"jobs={sweep['jobs']} cold {sweep['parallel_cold_seconds']:.2f} s, "
+            f"warm {sweep['parallel_seconds']:.2f} s "
             f"-> {sweep['speedup']:.2f}x (bit-identical results)"
+        )
+
+    if args.fleet:
+        fleet = bench_fleet(nodes=args.fleet_nodes, tenants=args.fleet_tenants)
+        record["fleet"] = fleet
+        print(
+            f"fleet:  {fleet['nodes']}n/{fleet['tenants']}t drain in "
+            f"{fleet['seconds']:.1f} s wall "
+            f"({fleet['sim_end']:.0f} s simulated): "
+            f"{fleet['events']:,} events "
+            f"-> {fleet['events_per_sec']:,} events/sec, "
+            f"{fleet['elided_events']:,} ticks elided "
+            f"({fleet['event_reduction_pct']:g}% fewer events than "
+            f"one-event-per-tick)"
         )
 
     append_record(Path(args.out), record)
     print(f"appended to {args.out}")
+
+    if args.sweep_gate_pct is not None and "sweep" in record:
+        sweep = record["sweep"]
+        overhead_pct = 100.0 * (
+            sweep["parallel_seconds"] - sweep["serial_seconds"]
+        ) / sweep["serial_seconds"]
+        print(
+            f"sweep gate: warm parallel {sweep['parallel_seconds']:.2f} s vs "
+            f"serial {sweep['serial_seconds']:.2f} s "
+            f"({overhead_pct:+.1f}% overhead, limit {args.sweep_gate_pct:g}%)"
+        )
+        if overhead_pct > args.sweep_gate_pct:
+            raise SystemExit(
+                f"parallel sweep dispatch overhead {overhead_pct:.1f}% "
+                f"(> {args.sweep_gate_pct:g}% allowed)"
+            )
 
     if args.gate_pct is not None:
         if baseline is None:

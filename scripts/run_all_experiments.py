@@ -27,7 +27,7 @@ from pathlib import Path
 
 from repro.analysis.export import series_to_csv, table_to_csv, write_csv
 from repro.experiments import REGISTRY
-from repro.parallel import ResultCache
+from repro.parallel import ResultCache, WorkerPool
 
 
 def _walltime() -> float:
@@ -85,36 +85,50 @@ def main() -> None:
     if args.obs:
         obs_dir.mkdir(parents=True, exist_ok=True)
 
-    ids = args.only or list(REGISTRY)
-    for experiment_id in ids:
-        module = REGISTRY[experiment_id]
-        started = _walltime()
-        kwargs = {} if experiment_id == "stop-and-copy" else {"scale": args.scale}
-        # Only sweep drivers accept jobs/cache; pass them where supported.
-        parameters = inspect.signature(module.run).parameters
-        if "jobs" in parameters:
-            kwargs["jobs"] = args.jobs
-        if "cache" in parameters:
-            kwargs["cache"] = cache
-        if args.obs and "obs_dir" in parameters:
-            kwargs["obs_dir"] = str(obs_dir)
-        if args.obs and "observe" in parameters:
-            kwargs["observe"] = True
-        result = module.run(**kwargs)
-        elapsed = _walltime() - started
+    # One warm worker pool for the whole driver run: workers spawn once
+    # (forkserver, repro preloaded) and every sweep reuses them instead
+    # of paying executor start-up per experiment.
+    pool = WorkerPool(args.jobs) if args.jobs != 1 else None
 
-        stem = experiment_id.replace("/", "-")
-        tables = tables_of(result)
-        text = "\n\n".join(t.render() for t in tables)
-        (out_dir / f"{stem}.txt").write_text(text + "\n")
-        if tables:
-            write_csv(str(out_dir / f"{stem}.csv"), table_to_csv(tables[0]))
-        series = latency_series_of(result)
-        if series:
-            write_csv(
-                str(out_dir / f"{stem}.latency.csv"), series_to_csv(series)
-            )
-        print(f"{experiment_id:<18} {elapsed:6.1f} s wall -> {out_dir}/{stem}.*")
+    ids = args.only or list(REGISTRY)
+    try:
+        for experiment_id in ids:
+            module = REGISTRY[experiment_id]
+            started = _walltime()
+            kwargs = {} if experiment_id == "stop-and-copy" else {"scale": args.scale}
+            # Only sweep drivers accept jobs/cache/pool; pass them where
+            # supported.
+            parameters = inspect.signature(module.run).parameters
+            if "jobs" in parameters:
+                kwargs["jobs"] = args.jobs
+            if "cache" in parameters:
+                kwargs["cache"] = cache
+            if pool is not None and "pool" in parameters:
+                kwargs["pool"] = pool
+            if args.obs and "obs_dir" in parameters:
+                kwargs["obs_dir"] = str(obs_dir)
+            if args.obs and "observe" in parameters:
+                kwargs["observe"] = True
+            result = module.run(**kwargs)
+            elapsed = _walltime() - started
+
+            stem = experiment_id.replace("/", "-")
+            tables = tables_of(result)
+            text = "\n\n".join(t.render() for t in tables)
+            (out_dir / f"{stem}.txt").write_text(text + "\n")
+            if tables:
+                write_csv(str(out_dir / f"{stem}.csv"), table_to_csv(tables[0]))
+            series = latency_series_of(result)
+            if series:
+                write_csv(
+                    str(out_dir / f"{stem}.latency.csv"), series_to_csv(series)
+                )
+            print(f"{experiment_id:<18} {elapsed:6.1f} s wall -> {out_dir}/{stem}.*")
+    finally:
+        if pool is not None:
+            pool.close()
+    if pool is not None and pool.warm_hits:
+        print(f"worker pool: {pool.jobs} worker(s), {pool.warm_hits} warm reuse(s)")
     if cache is not None:
         print(
             f"sweep cache: {cache.hits} hit(s), {cache.misses} miss(es) "

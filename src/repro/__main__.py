@@ -11,6 +11,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -61,6 +62,7 @@ def cmd_run(
     scale: float,
     seed: int | None,
     config_path: str | None = None,
+    jobs: int = 1,
 ) -> int:
     if experiment_ids == ["all"]:
         experiment_ids = list(REGISTRY)
@@ -78,20 +80,37 @@ def cmd_run(
         except ConfigFileError as exc:
             print(f"config error: {exc}", file=sys.stderr)
             return 2
-    for eid in experiment_ids:
-        module = REGISTRY[eid]
-        started = _walltime()
-        kwargs = {}
-        # stop-and-copy sweeps sizes rather than scaling one tenant
-        if eid != "stop-and-copy":
-            kwargs["scale"] = scale
-        if seed is not None:
-            kwargs["seed"] = seed
-        if config is not None:
-            kwargs["config"] = config
-        result = module.run(**kwargs)
-        print(_render(eid, result))
-        print(f"[{eid}: {_walltime() - started:.1f} s wall]\n")
+    # Sweep drivers dispatch their points through the SweepRunner; with
+    # --jobs they share one warm WorkerPool for the whole command, so
+    # `run all --jobs 4` spawns workers once, not once per figure.
+    pool = None
+    if jobs != 1:
+        from .parallel import WorkerPool
+
+        pool = WorkerPool(jobs)
+    try:
+        for eid in experiment_ids:
+            module = REGISTRY[eid]
+            started = _walltime()
+            kwargs = {}
+            # stop-and-copy sweeps sizes rather than scaling one tenant
+            if eid != "stop-and-copy":
+                kwargs["scale"] = scale
+            if seed is not None:
+                kwargs["seed"] = seed
+            if config is not None:
+                kwargs["config"] = config
+            parameters = inspect.signature(module.run).parameters
+            if jobs != 1 and "jobs" in parameters:
+                kwargs["jobs"] = jobs
+            if pool is not None and "pool" in parameters:
+                kwargs["pool"] = pool
+            result = module.run(**kwargs)
+            print(_render(eid, result))
+            print(f"[{eid}: {_walltime() - started:.1f} s wall]\n")
+    finally:
+        if pool is not None:
+            pool.close()
     return 0
 
 
@@ -118,10 +137,18 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="TOML config file overriding the experiment preset",
     )
+    runner.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep experiments (0 = all cores; "
+        "one warm pool is shared across the whole command and results "
+        "are bit-identical to serial)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
-    return cmd_run(args.experiments, args.scale, args.seed, args.config)
+    return cmd_run(args.experiments, args.scale, args.seed, args.config, args.jobs)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -209,6 +209,7 @@ def run_pid_forms(
     surge_factor: float = 2.0,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    pool=None,
 ) -> dict[str, PidFormResult]:
     """Velocity (paper) vs. positional PID across a workload surge.
 
@@ -234,7 +235,7 @@ def run_pid_forms(
         )
         for form in ("velocity", "positional")
     ]
-    return SweepRunner(jobs=jobs, cache=cache).run_labelled(points)
+    return SweepRunner(jobs=jobs, cache=cache, pool=pool).run_labelled(points)
 
 
 # -- 2. window size / timestep -----------------------------------------------------
@@ -312,6 +313,7 @@ def run_window_sizes(
     windows: Sequence[float] = (1.0, 3.0, 9.0),
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    pool=None,
 ) -> dict[float, WindowResult]:
     """Sweep the sliding-window size around the paper's 3 s choice."""
     base = scaled_config(config or EVALUATION, scale)
@@ -325,7 +327,7 @@ def run_window_sizes(
         )
         for window in windows
     ]
-    return SweepRunner(jobs=jobs, cache=cache).run_labelled(points)
+    return SweepRunner(jobs=jobs, cache=cache, pool=pool).run_labelled(points)
 
 
 # -- 3. open vs closed workload generator ------------------------------------------
@@ -433,6 +435,7 @@ def run_open_vs_closed(
     overload_rate_mb: float = 16.0,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    pool=None,
 ) -> dict[str, OpenClosedResult]:
     """Only the open generator exposes overload (Figure 6's premise).
 
@@ -453,7 +456,7 @@ def run_open_vs_closed(
         )
         for generator in ("open", "closed")
     ]
-    return SweepRunner(jobs=jobs, cache=cache).run_labelled(points)
+    return SweepRunner(jobs=jobs, cache=cache, pool=pool).run_labelled(points)
 
 
 # -- 4. gain variants ----------------------------------------------------------------
@@ -479,6 +482,7 @@ def run_gain_variants(
     variants: Optional[dict[str, PidGains]] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    pool=None,
 ) -> dict[str, GainResult]:
     """The paper's gains vs. integral-heavy and derivative-free sets."""
     base = scaled_config(config or EVALUATION, scale)
@@ -497,7 +501,7 @@ def run_gain_variants(
         )
         for label, gains in variants.items()
     ]
-    records = SweepRunner(jobs=jobs, cache=cache).run_labelled(points)
+    records = SweepRunner(jobs=jobs, cache=cache, pool=pool).run_labelled(points)
     return {
         label: GainResult(
             label=label,

@@ -324,9 +324,10 @@ def run(
     seed: Optional[int] = None,
     jobs: int = 1,
     observe: bool = False,
+    pool=None,
 ) -> dict[str, ChaosRecord]:
     """Run all chaos scenarios; records keyed by scenario label."""
-    runner = SweepRunner(jobs=jobs)
+    runner = SweepRunner(jobs=jobs, pool=pool)
     return runner.run_labelled(
         sweep_points(config, scale=scale, seed=seed, observe=observe)
     )

@@ -210,15 +210,17 @@ def run(
     warmup: float = 20.0,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    pool=None,
 ) -> Fig11Result:
     """Run both sweeps of Figure 11.
 
     This is the repo's biggest sweep (16 full simulations at the
     defaults), so it benefits most from ``jobs > 1``; results stay
-    bit-identical to a serial run.
+    bit-identical to a serial run.  ``pool`` reuses a shared warm
+    :class:`~repro.parallel.WorkerPool` across sweeps.
     """
     cfg = scaled_config(config or EVALUATION, scale, seed)
-    runner = SweepRunner(jobs=jobs, cache=cache)
+    runner = SweepRunner(jobs=jobs, cache=cache, pool=pool)
     outcomes = runner.run_labelled(
         sweep_points(
             cfg,

@@ -110,15 +110,18 @@ def run(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     chunksize: Optional[int] = None,
+    pool=None,
 ) -> Fig5Result:
     """Run the Figure 5 sweep; ``scale`` shrinks the database for speed.
 
     ``jobs`` fans the independent points across worker processes
     (results are bit-identical to ``jobs=1``); ``cache`` memoizes
-    points on disk; ``chunksize`` batches points per worker dispatch.
+    points on disk; ``chunksize`` batches points per worker dispatch;
+    ``pool`` dispatches onto a shared warm
+    :class:`~repro.parallel.WorkerPool` instead of a per-sweep executor.
     """
     cfg = scaled_config(config or CASE_STUDY, scale, seed)
-    runner = SweepRunner(jobs=jobs, cache=cache, chunksize=chunksize)
+    runner = SweepRunner(jobs=jobs, cache=cache, chunksize=chunksize, pool=pool)
     points = sweep_points(cfg, scale=scale, rates_mb=rates_mb, warmup=warmup)
     return Fig5Result(outcomes=runner.run_labelled(points))
 

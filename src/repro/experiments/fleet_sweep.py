@@ -90,6 +90,13 @@ class FleetRecord:
     #: Tenants left on the drained node (0 = fully drained).
     remaining: int
     sim_end: float
+    #: Kernel events processed during the run.  Excluded from
+    #: ``fingerprint`` on purpose: tick coalescing changes how many
+    #: events a trajectory costs, never the trajectory itself.
+    events: int = 0
+    #: Tick events the coalesced timers elided (``events + elided`` is
+    #: the one-event-per-tick cost of the same trajectory).
+    elided: int = 0
     #: Observability snapshot when run with ``observe=True``; excluded
     #: from ``fingerprint`` (watching must not change the trajectory).
     report: Optional[RunReport] = None
@@ -323,6 +330,8 @@ def fleet_point(
         drained_node=drain_node,
         remaining=drain_report.remaining if drain_report is not None else 0,
         sim_end=env.now,
+        events=env.processed_events,
+        elided=env.elided_events,
         report=report,
     )
 
@@ -372,9 +381,10 @@ def run(
     jobs: int = 1,
     run_limit: float = 600.0,
     observe: bool = False,
+    pool=None,
 ) -> dict[str, FleetRecord]:
     """Run both fleet scenarios; records keyed by scenario label."""
-    runner = SweepRunner(jobs=jobs)
+    runner = SweepRunner(jobs=jobs, pool=pool)
     return runner.run_labelled(
         sweep_points(
             config,

@@ -73,6 +73,15 @@ class LintConfig:
     #: Path prefixes inside ``placement_scope`` that ARE the launch
     #: path (the executor itself) and may call the node verbs.
     placement_launch_allow: tuple[str, ...] = ("repro/placement/executor.py",)
+    #: Path prefixes (hot, tick-dominated scopes) where eager periodic
+    #: timeout loops must use the coalesced timer API (SLK011); empty
+    #: disables the rule.
+    periodic_scope: tuple[str, ...] = (
+        "repro/middleware/",
+        "repro/migration/",
+        "repro/placement/",
+        "repro/obs/",
+    )
 
     def with_extra_disabled(self, rule_ids: tuple[str, ...]) -> "LintConfig":
         merged = tuple(dict.fromkeys(self.disable + rule_ids))
@@ -110,6 +119,7 @@ def _config_from_table(table: dict) -> LintConfig:
         placement_launch_allow=_str_tuple(
             "placement_launch_allow", defaults.placement_launch_allow
         ),
+        periodic_scope=_str_tuple("periodic_scope", defaults.periodic_scope),
     )
 
 

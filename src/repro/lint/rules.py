@@ -672,3 +672,113 @@ class DynamicMetricNameRule(Rule):
         if isinstance(receiver, ast.Attribute):
             return receiver.attr in _OBS_RECEIVERS
         return False
+
+
+@register
+class EagerPeriodicLoopRule(Rule):
+    """SLK011: eager per-tick timeout loops in hot scopes.
+
+    ``while True: yield env.timeout(interval)`` with a loop-invariant
+    interval schedules one kernel event per tick whether or not the
+    tick does anything — the pattern that made heartbeats, failure
+    detectors, and token refills dominate fleet-scale event counts.
+    Within ``periodic_scope`` such loops must go through
+    :class:`repro.simulation.timers.PeriodicTicker` (whose chained
+    tick clock keeps timestamps bit-identical while letting the
+    process skip no-op ticks).
+
+    Intervals computed fresh each iteration — RNG draws like
+    ``timeout(rng.expovariate(...))``, or a name reassigned inside the
+    loop — are *not* periodic and are exempt; so are one-shot timeouts
+    outside ``while`` loops.  A loop whose every tick does real work
+    can keep the ticker trivially (``yield ticker.tick()`` each pass),
+    so the rule still points it at the API; suppress with
+    ``# slackerlint: disable=SLK011`` where the eager form is load-
+    bearing (e.g. the throttle's own ``coalesce=False`` reference
+    path).
+    """
+
+    id = "SLK011"
+    summary = "eager per-tick timeout loop instead of the coalesced timer API"
+
+    def applies_to(self, rel_path: str) -> bool:
+        scope = self.ctx.config.periodic_scope
+        if not scope:
+            return False
+        return any(
+            rel_path.startswith(prefix) or f"/{prefix}" in f"/{rel_path}"
+            for prefix in scope
+        )
+
+    def visit_While(self, node: ast.While) -> None:
+        rebound = self._rebound_names(node.body)
+        for stmt in node.body:
+            call = self._yielded_timeout(stmt)
+            if call is not None and self._loop_invariant_interval(call, rebound):
+                self.report(
+                    stmt,
+                    "periodic `yield <env>.timeout(<interval>)` loop — one "
+                    "kernel event per tick; drive it with "
+                    "simulation.timers.PeriodicTicker (tick()/skip()) so "
+                    "no-op ticks coalesce while timestamps stay "
+                    "bit-identical",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _yielded_timeout(stmt: ast.stmt) -> Optional[ast.Call]:
+        """The ``timeout`` call of a top-level ``yield X.timeout(...)``."""
+        if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Yield):
+            return None
+        value = stmt.value.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in ("timeout", "timeout_at")
+            and len(value.args) >= 1
+        ):
+            return value
+        return None
+
+    @staticmethod
+    def _rebound_names(body: list) -> set:
+        """Names and attributes assigned anywhere inside the loop body."""
+        rebound: set = set()
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                targets: list = []
+                if isinstance(sub, ast.Assign):
+                    targets = sub.targets
+                elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [sub.target]
+                for target in targets:
+                    for leaf in ast.walk(target):
+                        if isinstance(leaf, ast.Name):
+                            rebound.add(leaf.id)
+                        elif isinstance(leaf, ast.Attribute):
+                            rebound.add(leaf.attr)
+        return rebound
+
+    def _loop_invariant_interval(self, call: ast.Call, rebound: set) -> bool:
+        """True when the timeout argument cannot change across iterations.
+
+        Constants are invariant; bare names and attribute chains are
+        invariant unless the loop body reassigns them.  Anything
+        computed per iteration (calls, arithmetic on calls) is treated
+        as aperiodic.
+        """
+        interval = call.args[0]
+        if isinstance(interval, ast.Constant):
+            return isinstance(interval.value, (int, float))
+        if isinstance(interval, ast.Name):
+            return interval.id not in rebound
+        if isinstance(interval, ast.Attribute):
+            for leaf in ast.walk(interval):
+                if isinstance(leaf, ast.Call):
+                    return False
+                if isinstance(leaf, ast.Attribute) and leaf.attr in rebound:
+                    return False
+                if isinstance(leaf, ast.Name) and leaf.id in rebound:
+                    return False
+            return True
+        return False

@@ -52,7 +52,7 @@ from ..migration.live import LiveMigration, LiveMigrationResult, MigrationAborte
 from ..migration.throttle import Throttle
 from ..resources.server import Server
 from ..resources.units import MB
-from ..simulation import Environment, Event, Series, Trace
+from ..simulation import Environment, Event, PeriodicTicker, Series, Trace
 from .frontend import Frontend
 from .protocol import (
     CreateTenantReply,
@@ -180,6 +180,9 @@ class SlackerNode:
         self._detector_interval: Optional[float] = None
         self._last_disk_busy = 0.0
         self._last_heartbeat_at = 0.0
+        #: Events parked periodic loops wait on while this node is
+        #: crashed; ``restart()`` fires them (see _heartbeat_loop).
+        self._restart_waiters: list[Event] = []
         self._dispatcher = env.process(self._dispatch_loop())
 
     # -- tenant lifecycle ------------------------------------------------------
@@ -270,6 +273,10 @@ class SlackerNode:
         now = self.env.now
         for peer in self.peers:
             self._peer_last_seen[peer] = now
+        # Wake periodic loops parked during the crash window.
+        waiters, self._restart_waiters = self._restart_waiters, []
+        for event in waiters:
+            event.succeed()
 
     # -- migration --------------------------------------------------------------
 
@@ -515,11 +522,36 @@ class SlackerNode:
             disk_utilization=min(1.0, max(0.0, utilization)),
         )
 
+    def _parked_until_restart(self) -> Event:
+        """Event a periodic loop waits on while the node is crashed."""
+        event = self.env.event()
+        self._restart_waiters.append(event)
+        return event
+
     def _heartbeat_loop(self):
+        # NOT a fixed tick grid while alive: the interval is measured
+        # from *send completion*, and delivering a heartbeat consumes
+        # simulated time (network latency, fault delays), so each wake
+        # drifts by however long the sends took and the eager timeout
+        # is the correct form.  Crash windows ARE periodic — a dead
+        # node sends nothing, so its wakes chain exactly from the wake
+        # that found it dead — and there the loop parks on the restart
+        # signal and rejoins that chain via PeriodicTicker instead of
+        # waking every interval only to `continue`.
+        env = self.env
+        interval = self._heartbeat_interval
         while True:
-            yield self.env.timeout(self._heartbeat_interval)
-            if not self.alive:
-                continue
+            yield env.timeout(interval)  # slackerlint: disable=SLK011
+            while not self.alive:
+                # Anchored at this wake: next_time is exactly where the
+                # eager loop's next (no-op) wake would have landed.
+                ticker = PeriodicTicker(env, interval)
+                yield self._parked_until_restart()
+                # Beats that fell inside the crash window never happen;
+                # a wake exactly at the restart time still fires (the
+                # restart event precedes it in same-time event order).
+                ticker.skip_until(env.now)
+                yield ticker.tick()
             beat = self.current_heartbeat()
             for peer in self.peers:
                 yield from self._send_tolerant(peer, beat)
@@ -546,11 +578,37 @@ class SlackerNode:
         for peer in self.peers:
             self._peer_last_seen.setdefault(peer, now)
         horizon = interval * miss_threshold
+        peer_names = sorted(self.peers)
+        # Coalesced: no peer can newly exceed the silence horizon before
+        # the first grid tick past the earliest deadline, and heartbeats
+        # only push deadlines later, so sleeping straight to that tick
+        # and rescanning is exact.  Two situations force per-tick
+        # polling semantics back on: declared-dead peers (a recovery
+        # must be noticed at the very next grid tick) and the scan
+        # itself, which always runs with the eager loop's comparisons.
+        ticker = PeriodicTicker(self.env, interval)
         while True:
-            yield self.env.timeout(interval)
+            if self.alive and peer_names and not self.dead_peers:
+                # Earliest tick at which the quietest peer's silence
+                # could exceed the horizon, probed with the scan's own
+                # float predicate (t - last > horizon) tick by tick so
+                # no algebraic rearrangement can shift the wake tick.
+                quietest = min(
+                    self._peer_last_seen.get(peer, 0.0) for peer in peer_names
+                )
+                ticks = 1
+                t = ticker.next_time
+                while not (t - quietest > horizon):
+                    t += interval
+                    ticks += 1
+                if ticks > 1:
+                    ticker.skip(ticks - 1)
+            yield ticker.tick()
             if not self.alive:
+                yield self._parked_until_restart()
+                ticker.skip_until(self.env.now)
                 continue
-            for peer in sorted(self.peers):
+            for peer in peer_names:
                 silent = self.env.now - self._peer_last_seen.get(peer, 0.0)
                 if silent > horizon:
                     if peer not in self.dead_peers:

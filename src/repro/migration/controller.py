@@ -26,7 +26,7 @@ from typing import Optional, Protocol, Sequence
 from ..control.pid import PAPER_GAINS, PidGains, VelocityPidController
 from ..control.window import DEFAULT_TIMESTEP, DEFAULT_WINDOW, LatencyWindow
 from ..resources.units import to_millis
-from ..simulation import Environment, Event, Interrupt, Trace
+from ..simulation import Environment, Event, Interrupt, PeriodicTicker, Trace
 from .throttle import Throttle
 
 __all__ = ["ControllerConfig", "DynamicThrottleController", "LatencyController"]
@@ -160,9 +160,13 @@ class DynamicThrottleController:
         leave a controller stepping a dead throttle.  Interrupting the
         loop process stops it cleanly as well.
         """
+        # Every step does real control work (PID update + set_rate), so
+        # no tick can be elided; the ticker keeps the control grid on
+        # the coalesced-timer API with exact chained timestamps.
+        ticker = PeriodicTicker(self.env, self.config.timestep)
         try:
             while not self._stopped and not (until is not None and until.triggered):
-                yield self.env.timeout(self.config.timestep)
+                yield ticker.tick()
                 if self._stopped or (until is not None and until.triggered):
                     break
                 latency = self._measure()

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Optional
 
 from . import names
+from ..simulation import PeriodicTicker
 from .metrics import MetricsRegistry
 from .report import RunReport, config_fingerprint
 from .tracer import Tracer
@@ -228,8 +229,11 @@ class Observability:
             )
             last[name] = cluster.servers[name].io_snapshot()
         last_time = self.env.now
+        # Every tick reads and records, so no tick can be elided; the
+        # ticker keeps the sample grid on the coalesced-timer API.
+        ticker = PeriodicTicker(self.env, self.sample_interval)
         while True:
-            yield self.env.timeout(self.sample_interval)
+            yield ticker.tick()
             now = self.env.now
             span = now - last_time
             last_time = now

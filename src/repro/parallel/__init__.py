@@ -13,6 +13,7 @@ SLK008 rather than left as convention.
 """
 
 from .cache import ResultCache, code_fingerprint, point_key
+from .pool import WorkerPool
 from .record import MigrationRecord, PointRecord, TenantRecord
 from .runner import SweepPoint, SweepRunner, resolve_jobs
 from .tasks import MULTI_TENANT, SINGLE_TENANT, resolve_task
@@ -26,6 +27,7 @@ __all__ = [
     "SweepPoint",
     "SweepRunner",
     "TenantRecord",
+    "WorkerPool",
     "code_fingerprint",
     "point_key",
     "resolve_jobs",

@@ -33,7 +33,10 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool uses resolve_jobs)
+    from .pool import WorkerPool
 
 from ..core.config import ExperimentConfig
 from ..experiments.harness import MigrationSpec
@@ -83,6 +86,12 @@ class SweepRunner:
     this process with no executor, so environments without working
     ``multiprocessing`` lose nothing but speed.  ``jobs=0`` means "all
     cores".
+
+    Passing a warm :class:`~repro.parallel.pool.WorkerPool` makes the
+    runner dispatch onto the pool's long-lived executor instead of
+    spinning one up per ``run()`` — the pool's worker count wins over
+    ``jobs``, and the pool (whose owner controls its lifetime) is never
+    shut down here.
     """
 
     def __init__(
@@ -90,15 +99,19 @@ class SweepRunner:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         chunksize: Optional[int] = None,
+        pool: Optional["WorkerPool"] = None,
     ):
         if chunksize is not None and chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
-        self.jobs = resolve_jobs(jobs)
+        self.jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
         self.cache = cache
         #: Points dispatched per worker round-trip; ``None`` picks
         #: ceil(pending / (workers * 4)) — 4 chunks per worker, enough
         #: slack to absorb uneven point runtimes without rebalancing.
         self.chunksize = chunksize
+        #: Optional shared warm pool; ``None`` keeps the historical
+        #: executor-per-run behaviour.
+        self.pool = pool
 
     def run(self, points: Sequence[SweepPoint]) -> list[Any]:
         """Execute ``points``, returning their records in point order."""
@@ -130,33 +143,40 @@ class SweepRunner:
                 results[index] = execute(
                     point.task, point.config, point.spec, point.kwargs
                 )
+        elif self.pool is not None:
+            self._dispatch(self.pool.executor(), points, pending, results)
         else:
             workers = min(self.jobs, len(pending))
-            chunk = self.chunksize or max(1, -(-len(pending) // (workers * 4)))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                batches = []
-                for start in range(0, len(pending), chunk):
-                    block = pending[start : start + chunk]
-                    items = [
-                        (
-                            points[index].task,
-                            points[index].config,
-                            points[index].spec,
-                            points[index].kwargs,
-                        )
-                        for index in block
-                    ]
-                    batches.append((block, pool.submit(execute_batch, items)))
-                # Collect by submission index: deterministic result
-                # order no matter which worker finishes first.
-                for block, future in batches:
-                    for index, record in zip(block, future.result()):
-                        results[index] = record
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                self._dispatch(executor, points, pending, results)
 
         if self.cache is not None:
             for index in pending:
                 self.cache.put(keys[index], results[index])
         return results
+
+    def _dispatch(self, executor, points, pending, results) -> None:
+        """Chunk ``pending`` onto ``executor``; fill ``results`` in place."""
+        workers = min(self.jobs, len(pending))
+        chunk = self.chunksize or max(1, -(-len(pending) // (workers * 4)))
+        batches = []
+        for start in range(0, len(pending), chunk):
+            block = pending[start : start + chunk]
+            items = [
+                (
+                    points[index].task,
+                    points[index].config,
+                    points[index].spec,
+                    points[index].kwargs,
+                )
+                for index in block
+            ]
+            batches.append((block, executor.submit(execute_batch, items)))
+        # Collect by submission index: deterministic result order no
+        # matter which worker finishes first.
+        for block, future in batches:
+            for index, record in zip(block, future.result()):
+                results[index] = record
 
     def run_labelled(self, points: Sequence[SweepPoint]) -> dict:
         """Like :meth:`run`, keyed by each point's ``label``."""

@@ -122,10 +122,17 @@ class PlacementManager:
         self.executor.launch_wave(wave)
 
     def run(self):
-        """Process: the rebalancing loop, forever."""
+        """Process: the rebalancing loop, forever.
+
+        Not a fixed tick grid: the interval is measured from *step
+        completion*, and a serial-mode step runs a whole migration
+        inline, consuming simulated time.  A PeriodicTicker grid would
+        change when snapshots happen, so the eager timeout is the
+        correct form here.
+        """
         env = self.cluster.env
         while True:
-            yield env.timeout(self.monitor.interval)
+            yield env.timeout(self.monitor.interval)  # slackerlint: disable=SLK011
             yield from self.step()
 
     # -- fleet verbs -----------------------------------------------------

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..middleware.cluster import SlackerCluster
-from ..simulation import Series, Trace
+from ..simulation import PeriodicTicker, Series, Trace
 
 __all__ = ["TenantLoad", "NodeLoad", "LoadMonitor"]
 
@@ -154,7 +154,13 @@ class LoadMonitor:
         return sorted(name for name, load in loads.items() if not load.alive)
 
     def run(self):
-        """Process: snapshot forever at the configured interval."""
+        """Process: snapshot forever at the configured interval.
+
+        Every tick does real work (the snapshot), so there is nothing
+        to elide; the ticker keeps the sample grid on the kernel's
+        coalesced-timer API with exact chained-addition timestamps.
+        """
+        ticker = PeriodicTicker(self.cluster.env, self.interval)
         while True:
-            yield self.cluster.env.timeout(self.interval)
+            yield ticker.tick()
             self.snapshot()

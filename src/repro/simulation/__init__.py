@@ -12,6 +12,7 @@ from .core import (
     Condition,
     Environment,
     Event,
+    HeapEnvironment,
     Interrupt,
     Process,
     SimulationError,
@@ -20,6 +21,7 @@ from .core import (
 )
 from .resources import Container, PriorityResource, Request, Resource, Store
 from .rng import RandomStreams, default_rng, derive_seed
+from .timers import PeriodicTicker
 from .trace import Series, Trace, sliding_window_average
 
 __all__ = [
@@ -29,7 +31,9 @@ __all__ = [
     "Container",
     "Environment",
     "Event",
+    "HeapEnvironment",
     "Interrupt",
+    "PeriodicTicker",
     "PriorityResource",
     "Process",
     "RandomStreams",

@@ -35,6 +35,7 @@ _heappop = heapq.heappop
 
 __all__ = [
     "Environment",
+    "HeapEnvironment",
     "Event",
     "Timeout",
     "Process",
@@ -182,6 +183,12 @@ class Timeout(Event):
         env._schedule(self, delay=delay)
 
 
+#: Allocator for the fused timeout factories — bound once so the hot
+#: path pays a single global load instead of two loads plus an
+#: attribute lookup per event.
+_new_timeout = Timeout.__new__
+
+
 class _Initialize(Event):
     """Immediate event used to start a newly created process."""
 
@@ -256,14 +263,13 @@ class Process(Event):
         env._active_process = self
         generator = self._generator
         send = generator.send
-        throw = generator.throw
         while True:
             try:
                 if event._ok:
                     next_event = send(event._value)
                 else:
                     event._defused = True
-                    next_event = throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as exc:
                 self._target = None
                 self.succeed(exc.value)
@@ -273,21 +279,26 @@ class Process(Event):
                 self.fail(exc)
                 break
 
-            if not isinstance(next_event, Event):
+            # Duck-typed event check: anything without a ``callbacks``
+            # attribute is not an Event.  (One attribute load replaces
+            # the old isinstance + double ``callbacks`` load.)
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
                 error = SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
                 try:
-                    throw(error)
+                    generator.throw(error)
                 except StopIteration as exc:
                     self.succeed(exc.value)
                 except BaseException as exc:
                     self.fail(exc)
                 break
 
-            if next_event.callbacks is not None:
+            if callbacks is not None:
                 # Not yet processed: park until it fires.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._target = next_event
                 break
             # Already processed: loop and feed its value in immediately.
@@ -367,15 +378,59 @@ class AnyOf(Condition):
 
 
 class Environment:
-    """Execution environment that advances simulated time event by event."""
+    """Execution environment that advances simulated time event by event.
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_process")
+    Scheduling uses a **calendar queue** tuned for this repo's workload
+    mix — dense clusters of same-timestamp events (token refills,
+    transport hops, co-resuming processes) plus a thin stream of
+    far-future timers (heartbeats, monitors):
+
+    * normal-priority events live in per-timestamp FIFO **buckets**
+      (``dict`` keyed by exact event time) with a heap of distinct
+      bucket times, so the common case — another event at an existing
+      timestamp — is one dict lookup and one ``list.append``, with no
+      per-event sequence counter and no 4-tuple allocation;
+    * urgent events (process starts, interrupts, ``run(until=t)``
+      stops) are rare and keep a conventional ``(time, seq, event)``
+      heap.
+
+    Ordering is **bit-identical** to the previous single-``heapq``
+    scheduler's ``(time, priority, sequence)`` order: bucket FIFO order
+    *is* sequence order for events sharing a (time, priority) key, the
+    urgent heap is consulted before same-time normal buckets (priority
+    0 < 1), and urgent arrivals preempt the remainder of a same-time
+    bucket exactly as a lower heap key would.  :class:`HeapEnvironment`
+    keeps the original scheduler verbatim, and
+    ``tests/test_calendar_queue.py`` replays experiment seeds through
+    both and asserts identical trajectories.
+    """
+
+    __slots__ = (
+        "_now",
+        "_times",
+        "_buckets",
+        "_urgent",
+        "_eid",
+        "_active_process",
+        "_processed",
+        "_elided",
+    )
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        #: Heap of bucket timestamps (may hold duplicates; stale entries
+        #: whose bucket has drained are skipped on pop).
+        self._times: list[float] = []
+        #: time -> FIFO list of normal-priority events at that time.
+        self._buckets: dict[float, list[Event]] = {}
+        #: Heap of (time, seq, event) for URGENT-priority events.
+        self._urgent: list[tuple[float, int, Event]] = []
         self._eid = itertools.count()
         self._active_process: Optional[Process] = None
+        #: Events processed so far (see :attr:`processed_events`).
+        self._processed = 0
+        #: Tick events coalescing avoided (see :attr:`elided_events`).
+        self._elided = 0
 
     @property
     def now(self) -> float:
@@ -387,6 +442,34 @@ class Environment:
         """The process currently being resumed, if any."""
         return self._active_process
 
+    @property
+    def processed_events(self) -> int:
+        """Total events processed since construction.
+
+        For a run that drains the queue this equals the number of
+        events ever scheduled — the figure ``scripts/bench_kernel.py``
+        reports as events/sec.
+        """
+        return self._processed
+
+    @property
+    def elided_events(self) -> int:
+        """Tick events the coalesced-timer users never scheduled.
+
+        Lazy periodic consumers (:class:`~repro.simulation.timers.
+        PeriodicTicker` skips, the throttle's settle-on-interaction
+        replay) report every conceptual tick they advanced past without
+        putting an event on the queue.  ``processed_events +
+        elided_events`` is therefore what the same trajectory would
+        have cost with one event per tick — the denominator for the
+        coalescing win ``scripts/bench_kernel.py --fleet`` records.
+        """
+        return self._elided
+
+    def note_elided(self, count: int) -> None:
+        """Record ``count`` conceptual ticks handled without events."""
+        self._elided += count
+
     # -- event factories -------------------------------------------------
 
     def event(self) -> Event:
@@ -394,8 +477,58 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that triggers ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        """Create an event that triggers ``delay`` time units from now.
+
+        Timeouts are the kernel's most-allocated event, so creation and
+        scheduling are fused here: one call, no ``__init__`` chain, and
+        direct bucket insertion (timeouts are always NORMAL priority).
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = _new_timeout(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._defused = False
+        event.delay = delay
+        time = self._now + delay
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [event]
+            _heappush(self._times, time)
+        else:
+            bucket.append(event)
+        return event
+
+    def timeout_at(self, when: float, value: Any = None) -> Timeout:
+        """Create an event that triggers at absolute time ``when``.
+
+        Unlike ``timeout(when - now)``, the event fires at *exactly*
+        ``when`` — no float drift from the subtract-then-add round
+        trip.  This is the primitive the coalesced periodic-timer API
+        (:class:`~repro.simulation.timers.PeriodicTicker`) builds on:
+        skipping k ticks in one event must land on the identical float
+        timestamp the k chained ``timeout(interval)`` calls would have.
+        """
+        if when < self._now:
+            raise ValueError(f"when={when} is in the past (now={self._now})")
+        event = _new_timeout(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._defused = False
+        event.delay = when - self._now
+        buckets = self._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            buckets[when] = [event]
+            _heappush(self._times, when)
+        else:
+            bucket.append(event)
+        return event
 
     def process(self, generator: Generator) -> Process:
         """Start a new process running ``generator``."""
@@ -412,20 +545,59 @@ class Environment:
     # -- scheduling / execution -------------------------------------------
 
     def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
-        _heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
-        )
+        time = self._now + delay
+        if priority == NORMAL:
+            buckets = self._buckets
+            bucket = buckets.get(time)
+            if bucket is None:
+                buckets[time] = [event]
+                _heappush(self._times, time)
+            else:
+                bucket.append(event)
+        else:
+            _heappush(self._urgent, (time, next(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._queue[0][0] if self._queue else float("inf")
+        times, buckets = self._times, self._buckets
+        while times and times[0] not in buckets:
+            _heappop(times)  # stale duplicate: bucket already drained
+        next_normal = times[0] if times else None
+        next_urgent = self._urgent[0][0] if self._urgent else None
+        if next_normal is None and next_urgent is None:
+            return float("inf")
+        if next_normal is None:
+            return next_urgent
+        if next_urgent is None:
+            return next_normal
+        return next_urgent if next_urgent <= next_normal else next_normal
+
+    def _pop_next(self) -> Optional[Event]:
+        """Remove and return the next event in schedule order, if any."""
+        urgent, times, buckets = self._urgent, self._times, self._buckets
+        while times and times[0] not in buckets:
+            _heappop(times)
+        if urgent and (not times or urgent[0][0] <= times[0]):
+            time, _, event = _heappop(urgent)
+            self._now = time
+            return event
+        if not times:
+            return None
+        time = times[0]
+        bucket = buckets[time]
+        event = bucket.pop(0)
+        if not bucket:
+            del buckets[time]
+            _heappop(times)
+        self._now = time
+        return event
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        if not self._queue:
+        event = self._pop_next()
+        if event is None:
             raise SimulationError("no scheduled events")
-        time, _, _, event = _heappop(self._queue)
-        self._now = time
+        self._processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -459,16 +631,174 @@ class Environment:
             self._schedule(stop_event, priority=URGENT, delay=at - self._now)
             stop_event.callbacks.append(self._stop_callback)
 
-        # Inlined step() loop: the body below matches step() exactly but
-        # keeps the queue and heappop in locals, which measurably raises
-        # events/sec on long runs (see scripts/bench_kernel.py).  The
-        # queue list is only ever mutated, never rebound, so the alias
-        # stays valid across the whole run.
-        queue = self._queue
+        # Inlined event loop over locals.  Two levels: the outer loop
+        # picks the next (time, priority) key; the inner loop walks one
+        # normal bucket FIFO, re-checking the urgent heap before every
+        # event so a same-time urgent arrival (a process started or
+        # interrupted by a callback) preempts the bucket's remainder
+        # exactly as its lower (time, 0, seq) heap key used to.  A
+        # bucket stays in the dict while it is walked — concurrent
+        # same-time schedules append to it and are picked up by the
+        # indexed walk, in sequence order; ``finally`` trims the
+        # consumed prefix so an exception (including StopSimulation)
+        # leaves the queue consistent for a later run()/step().
+        urgent = self._urgent
+        times = self._times
+        buckets = self._buckets
+        processed = 0
+        try:
+            while True:
+                if urgent:
+                    tu = urgent[0][0]
+                    while times and times[0] not in buckets:
+                        _heappop(times)
+                    if not times or tu <= times[0]:
+                        time, _, event = _heappop(urgent)
+                        self._now = time
+                        processed += 1
+                        callbacks, event.callbacks = event.callbacks, None
+                        if len(callbacks) == 1:  # overwhelmingly common
+                            callbacks[0](event)
+                        else:
+                            for callback in callbacks:
+                                callback(event)
+                        if event._ok is False and not event._defused:
+                            raise event._value
+                        continue
+                else:
+                    while times and times[0] not in buckets:
+                        _heappop(times)
+                    if not times:
+                        break
+                time = _heappop(times)
+                bucket = buckets.get(time)
+                if bucket is None:
+                    continue  # stale duplicate entry
+                self._now = time
+                i = 0
+                try:
+                    while True:
+                        if urgent and urgent[0][0] <= time:
+                            break  # same-time urgent preempts the rest
+                        try:
+                            event = bucket[i]
+                        except IndexError:
+                            break  # bucket drained
+                        i += 1
+                        callbacks, event.callbacks = event.callbacks, None
+                        if len(callbacks) == 1:  # overwhelmingly common
+                            callbacks[0](event)
+                        else:
+                            for callback in callbacks:
+                                callback(event)
+                        if event._ok is False and not event._defused:
+                            raise event._value
+                finally:
+                    processed += i
+                    if i >= len(bucket):
+                        del buckets[time]
+                    else:
+                        del bucket[:i]
+                        _heappush(times, time)
+        except StopSimulation:
+            if isinstance(until, Event):
+                if until._ok:
+                    return until._value
+                raise until._value
+            return None
+        finally:
+            self._processed += processed
+        if isinstance(until, Event) and not until.processed:
+            raise SimulationError("run() queue drained before `until` event fired")
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation()
+
+
+class HeapEnvironment(Environment):
+    """The original single-``heapq`` scheduler, kept verbatim.
+
+    Reference implementation for the calendar queue's A/B bit-identity
+    fixture: ``tests/test_calendar_queue.py`` replays the same seeds
+    through an :class:`Environment` and a :class:`HeapEnvironment` and
+    asserts identical trajectories.  Not used by any experiment path.
+    """
+
+    __slots__ = ("_heap_queue",)
+
+    def __init__(self, initial_time: float = 0.0):
+        super().__init__(initial_time)
+        self._heap_queue: list[tuple[float, int, int, Event]] = []
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def timeout_at(self, when: float, value: Any = None) -> Timeout:
+        """Create an event that triggers at absolute time ``when``."""
+        if when < self._now:
+            raise ValueError(f"when={when} is in the past (now={self._now})")
+        event = Timeout.__new__(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._defused = False
+        event.delay = when - self._now
+        _heappush(self._heap_queue, (when, NORMAL, next(self._eid), event))
+        return event
+
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        _heappush(
+            self._heap_queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._heap_queue[0][0] if self._heap_queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._heap_queue:
+            raise SimulationError("no scheduled events")
+        time, _, _, event = _heappop(self._heap_queue)
+        self._now = time
+        self._processed += 1
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires."""
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event._value
+            stop_event.callbacks.append(self._stop_callback)
+        else:
+            at = float(until)
+            if at < self._now:
+                raise ValueError(f"until={at} is in the past (now={self._now})")
+            stop_event = Event(self)
+            stop_event._ok = True
+            stop_event._value = None
+            self._schedule(stop_event, priority=URGENT, delay=at - self._now)
+            stop_event.callbacks.append(self._stop_callback)
+
+        queue = self._heap_queue
+        processed = 0
         try:
             while queue:
                 time, _, _, event = _heappop(queue)
                 self._now = time
+                processed += 1
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:
                     callback(event)
@@ -480,10 +810,8 @@ class Environment:
                     return until._value
                 raise until._value
             return None
+        finally:
+            self._processed += processed
         if isinstance(until, Event) and not until.processed:
             raise SimulationError("run() queue drained before `until` event fired")
         return None
-
-    @staticmethod
-    def _stop_callback(event: Event) -> None:
-        raise StopSimulation()

@@ -636,3 +636,91 @@ class TestSLK010DynamicMetricName:
             "# slackerlint: disable=SLK010\n"
         )
         assert "SLK010" not in rule_ids(src)
+
+
+class TestSLK011EagerPeriodicLoop:
+    PATH = "src/repro/middleware/pump.py"
+
+    def test_positive_constant_interval(self):
+        src = (
+            "def heartbeat_loop(env):\n"
+            "    while True:\n"
+            "        yield env.timeout(0.5)\n"
+            "        env.beat()\n"
+        )
+        assert "SLK011" in rule_ids(src, rel_path=self.PATH)
+
+    def test_positive_attribute_interval(self):
+        src = (
+            "def refill_loop(self):\n"
+            "    while self._running:\n"
+            "        yield self.env.timeout(self.tick)\n"
+            "        self.bucket.put(self.rate * self.tick)\n"
+        )
+        assert "SLK011" in rule_ids(src, rel_path=self.PATH)
+
+    def test_negative_rng_drawn_interval_is_aperiodic(self):
+        src = (
+            "def arrival_loop(env, rng, rate):\n"
+            "    while True:\n"
+            "        yield env.timeout(rng.expovariate(rate))\n"
+            "        env.emit()\n"
+        )
+        assert "SLK011" not in rule_ids(src, rel_path=self.PATH)
+
+    def test_negative_interval_reassigned_in_loop(self):
+        src = (
+            "def backoff_loop(env, delay):\n"
+            "    while True:\n"
+            "        yield env.timeout(delay)\n"
+            "        delay = delay * 2\n"
+        )
+        assert "SLK011" not in rule_ids(src, rel_path=self.PATH)
+
+    def test_negative_attribute_leaf_reassigned_in_loop(self):
+        src = (
+            "def adaptive_loop(self, env):\n"
+            "    while True:\n"
+            "        yield env.timeout(self.interval)\n"
+            "        self.interval = self.controller.update()\n"
+        )
+        assert "SLK011" not in rule_ids(src, rel_path=self.PATH)
+
+    def test_negative_one_shot_timeout_outside_loop(self):
+        src = (
+            "def settle(env):\n"
+            "    yield env.timeout(5.0)\n"
+            "    env.done()\n"
+        )
+        assert "SLK011" not in rule_ids(src, rel_path=self.PATH)
+
+    def test_negative_out_of_scope_path(self):
+        src = (
+            "def heartbeat_loop(env):\n"
+            "    while True:\n"
+            "        yield env.timeout(0.5)\n"
+        )
+        assert "SLK011" not in rule_ids(src, rel_path="src/repro/workload/pump.py")
+
+    def test_periodic_scope_configurable(self):
+        src = (
+            "def heartbeat_loop(env):\n"
+            "    while True:\n"
+            "        yield env.timeout(0.5)\n"
+        )
+        config = LintConfig(periodic_scope=("mypkg/",))
+        assert "SLK011" in rule_ids(src, rel_path="mypkg/pump.py", config=config)
+        assert "SLK011" not in rule_ids(
+            src, rel_path="src/repro/middleware/pump.py", config=config
+        )
+        disabled = LintConfig(periodic_scope=())
+        assert "SLK011" not in rule_ids(src, rel_path=self.PATH, config=disabled)
+
+    def test_pragma_suppresses(self):
+        src = (
+            "def refill_loop(self):\n"
+            "    while self._running:\n"
+            "        yield self.env.timeout(self.tick)  "
+            "# slackerlint: disable=SLK011\n"
+        )
+        assert "SLK011" not in rule_ids(src, rel_path=self.PATH)

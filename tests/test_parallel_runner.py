@@ -18,6 +18,7 @@ from repro.parallel import (
     ResultCache,
     SweepPoint,
     SweepRunner,
+    WorkerPool,
     code_fingerprint,
     point_key,
     resolve_jobs,
@@ -203,3 +204,53 @@ class TestChaosSweepParallelEquivalence:
         again = execute(point.task, point.config, point.spec, point.kwargs)
         assert first.fingerprint == again.fingerprint
         assert first == again
+
+
+class TestWarmPool:
+    """One WorkerPool spawned once and shared across sweeps: workers
+    must be reused, results must stay bit-identical to serial, and
+    cache hits must short-circuit before any dispatch."""
+
+    def test_pool_reused_across_sweeps_bit_identically(
+        self, points, serial_records
+    ):
+        with WorkerPool(2) as pool:
+            first = SweepRunner(pool=pool).run(points)
+            assert pool.started
+            assert pool.warm_hits == 0  # first executor() call spawned it
+            second = SweepRunner(pool=pool).run(points)
+            assert pool.warm_hits == 1  # same workers, no respawn
+            executor = pool.executor()
+            assert pool.warm_hits == 2
+            assert executor is pool.executor()  # literally the same object
+        assert first == serial_records
+        assert second == serial_records
+        assert not pool.started  # close() tears down and resets
+
+    def test_pool_jobs_override_runner_jobs(self):
+        with WorkerPool(3) as pool:
+            runner = SweepRunner(jobs=1, pool=pool)
+            assert runner.jobs == 3
+            # constructing a runner must not spawn workers
+            assert not pool.started
+
+    def test_runner_leaves_the_pool_running(self, points):
+        with WorkerPool(2) as pool:
+            SweepRunner(pool=pool).run(points[:1])
+            executor = pool.executor()
+            # still usable: the runner never shuts a shared pool down
+            assert executor.submit(int, "7").result() == 7
+
+    def test_cache_hits_short_circuit_before_dispatch(self, points, tmp_path):
+        baseline = SweepRunner(
+            jobs=1, cache=ResultCache(tmp_path / "warm")
+        ).run(points)
+        warm_cache = ResultCache(tmp_path / "warm")
+        with WorkerPool(2) as pool:
+            records = SweepRunner(cache=warm_cache, pool=pool).run(points)
+            # every point was probed hot in the parent: no dispatch,
+            # no workers ever spawned
+            assert not pool.started
+        assert warm_cache.hits == len(points)
+        assert warm_cache.misses == 0
+        assert records == baseline
