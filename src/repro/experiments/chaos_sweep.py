@@ -39,7 +39,13 @@ from typing import Optional
 from ..analysis.report import Table, format_ms
 from ..core.config import CASE_STUDY, ExperimentConfig
 from ..db.engine import EngineState
-from ..faults import FaultInjector, FaultPlan, MessageFaults, ScheduledFault
+from ..faults import (
+    FaultInjector,
+    FaultPlan,
+    MessageFaults,
+    PartitionFault,
+    ScheduledFault,
+)
 from ..middleware.tenant import TenantStatus
 from ..migration.live import MigrationAborted
 from ..obs import Observability, RunReport
@@ -93,11 +99,12 @@ class ChaosRecord:
 
 
 def _plan_from_kwargs(
-    messages: Optional[dict], scheduled: tuple
+    messages: Optional[dict], scheduled: tuple, partitions: tuple = ()
 ) -> FaultPlan:
     return FaultPlan(
         messages=MessageFaults(**messages) if messages else MessageFaults(),
         scheduled=tuple(ScheduledFault(**dict(s)) for s in scheduled),
+        partitions=tuple(PartitionFault(**dict(p)) for p in partitions),
     )
 
 
@@ -107,25 +114,32 @@ def chaos_point(
     label: str = "",
     messages: Optional[dict] = None,
     scheduled: tuple = (),
+    partitions: tuple = (),
     warmup: float = 5.0,
     run_limit: float = 240.0,
     cooldown: float = 2.0,
     heartbeat_interval: float = 0.5,
     detector_interval: float = 0.5,
     miss_threshold: float = 3.0,
+    suspect_grace: float = 0.0,
+    lease_ttl: Optional[float] = None,
     observe: bool = False,
 ) -> ChaosRecord:
     """One chaos run: hardened cluster + fault plan + invariant checks.
 
-    ``messages`` and ``scheduled`` are plain dicts/dict-tuples (so sweep
-    points pickle); they are rehydrated into a :class:`FaultPlan` here.
-    ``observe=True`` attaches the observability runtime and fills
-    ``record.report`` — without changing the fingerprint, since
-    observation is read-only.
+    ``messages``, ``scheduled``, and ``partitions`` are plain
+    dicts/dict-tuples (so sweep points pickle); they are rehydrated
+    into a :class:`FaultPlan` here.  ``lease_ttl`` enables migration
+    ownership leases with fencing tokens; ``suspect_grace`` inserts the
+    failure detector's suspect state.  ``observe=True`` attaches the
+    observability runtime and fills ``record.report`` — without
+    changing the fingerprint, since observation is read-only.
     """
-    plan = _plan_from_kwargs(messages, tuple(scheduled))
+    plan = _plan_from_kwargs(messages, tuple(scheduled), tuple(partitions))
     streams = RandomStreams(config.seed)
-    cluster = _build_cluster(config, streams, retry_policy=RetryPolicy())
+    cluster = _build_cluster(
+        config, streams, retry_policy=RetryPolicy(), lease_ttl=lease_ttl
+    )
     env = cluster.env
     trace = Trace()
     injector = FaultInjector(env, plan, streams).attach(cluster)
@@ -143,7 +157,7 @@ def chaos_point(
     client.start()
     source.attach_latency_series(1, trace.series("tenant-1"))
     cluster.start_heartbeats(heartbeat_interval)
-    cluster.start_failure_detectors(detector_interval, miss_threshold)
+    cluster.start_failure_detectors(detector_interval, miss_threshold, suspect_grace)
 
     def driver():
         yield env.timeout(warmup)
@@ -177,6 +191,12 @@ def chaos_point(
     counters["duplicates_ignored"] = (
         source.stats.duplicates_ignored + target.stats.duplicates_ignored
     )
+    if cluster.lease_manager is not None:
+        counters.update(cluster.lease_manager.stats.counters())
+        counters["stale_tokens_rejected"] = (
+            source.stats.stale_tokens_rejected + target.stats.stale_tokens_rejected
+        )
+        counters["lease_expired_aborts"] = source.stats.lease_expired_aborts
     counter_pairs = tuple(sorted(counters.items()))
 
     series = trace.series("tenant-1")
@@ -253,6 +273,23 @@ def _check_invariants(
             f"latency accounting mismatch: {samples} samples, "
             f"{client.stats.completed} completions"
         )
+
+    manager = cluster.lease_manager
+    if manager is not None:
+        # No handover may ever commit under an expired or superseded
+        # lease — the controller's audit log is ground truth.
+        for record in manager.commit_log:
+            if not record.valid:
+                violations.append(
+                    f"handover committed under invalid lease token "
+                    f"{record.token} for tenant {record.tenant_id} "
+                    f"at t={record.at:g}"
+                )
+        held = manager.outstanding()
+        if held:
+            violations.append(
+                f"leases still held after terminal state: {held}"
+            )
     return violations
 
 
@@ -314,6 +351,67 @@ def sweep_points(
                     "duration": 8.0,
                 },
             ),
+        ),
+        # Partition + lease scenarios (PR 9): one-way silence, a full
+        # split, a flapping link, a gray node — with leases + the
+        # suspect-grace detector guarding the handover.
+        point(
+            "oneway-target-source",
+            partitions=(
+                {
+                    "at": 8.0,
+                    "duration": 6.0,
+                    "kind": "oneway",
+                    "src": "target",
+                    "dst": "source",
+                },
+            ),
+            lease_ttl=4.0,
+            suspect_grace=2.0,
+        ),
+        point(
+            "split-mid-migration",
+            partitions=(
+                {
+                    "at": 9.0,
+                    "duration": 5.0,
+                    "kind": "split",
+                    "groups": (("source",), ("target",)),
+                },
+            ),
+            lease_ttl=4.0,
+            suspect_grace=2.0,
+        ),
+        point(
+            "flap-source-target",
+            partitions=(
+                {
+                    "at": 7.0,
+                    "duration": 10.0,
+                    "kind": "flap",
+                    "src": "source",
+                    "dst": "target",
+                    "period": 1.0,
+                    "duty": 0.4,
+                },
+            ),
+            lease_ttl=4.0,
+            suspect_grace=2.0,
+        ),
+        point(
+            "gray-target",
+            partitions=(
+                {
+                    "at": 6.0,
+                    "duration": 8.0,
+                    "kind": "gray",
+                    "node": "target",
+                    "drop_prob": 0.4,
+                    "delay": 0.02,
+                },
+            ),
+            lease_ttl=4.0,
+            suspect_grace=2.0,
         ),
     ]
 

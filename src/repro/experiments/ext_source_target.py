@@ -28,11 +28,15 @@ from ..analysis.report import Table, format_ms, format_rate
 from ..core.config import EVALUATION, ExperimentConfig
 from ..middleware.cluster import SlackerCluster
 from ..middleware.node import NodeConfig
+from ..parallel import SweepPoint, SweepRunner
 from ..simulation import Environment, RandomStreams, Trace
 from .common import scaled_config
 from .harness import attach_workload
 
-__all__ = ["SourceTargetResult", "run", "main"]
+__all__ = ["SourceTargetResult", "variant_point", "run", "main"]
+
+#: Task path of :func:`variant_point` for :class:`SweepPoint`.
+VARIANT_TASK = "repro.experiments.ext_source_target:variant_point"
 
 #: Setpoint used for both variants, seconds.
 DEFAULT_SETPOINT = 1.0
@@ -145,22 +149,60 @@ def _run_variant(
     )
 
 
+def variant_point(
+    config: ExperimentConfig,
+    spec=None,
+    setpoint: float = DEFAULT_SETPOINT,
+    both_ends: bool = False,
+    warmup: float = 20.0,
+) -> SourceTargetResult:
+    """One controller variant as a sweep task (compact picklable result)."""
+    return _run_variant(config, setpoint, both_ends=both_ends, warmup=warmup)
+
+
 def run(
     scale: float = 1.0,
     config: Optional[ExperimentConfig] = None,
     seed: Optional[int] = None,
     setpoint: float = DEFAULT_SETPOINT,
     warmup: float = 20.0,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
 ) -> SourceTargetComparison:
-    """Run both controller variants against a loaded target server."""
+    """Run both controller variants against a loaded target server.
+
+    The two variants are independent simulations, dispatched together
+    through the :class:`SweepRunner` so they fan out across ``run
+    all``'s shared warm worker pool.
+    """
     cfg = scaled_config(config or EVALUATION, scale, seed)
     # Slow the target disk so the incoming snapshot writes genuinely
     # contend with the resident tenant there.
     disk = replace(cfg.server.disk, sequential_bandwidth=cfg.server.disk.sequential_bandwidth / 2)
     cfg = replace(cfg, server=replace(cfg.server, disk=disk))
+    runner = SweepRunner(jobs=jobs, cache=cache, pool=pool)
+    source_only, both_ends = runner.run(
+        [
+            SweepPoint(
+                label="source-only",
+                config=cfg,
+                spec=None,
+                task=VARIANT_TASK,
+                kwargs={"setpoint": setpoint, "both_ends": False, "warmup": warmup},
+            ),
+            SweepPoint(
+                label="both-ends",
+                config=cfg,
+                spec=None,
+                task=VARIANT_TASK,
+                kwargs={"setpoint": setpoint, "both_ends": True, "warmup": warmup},
+            ),
+        ]
+    )
     return SourceTargetComparison(
-        source_only=_run_variant(cfg, setpoint, both_ends=False, warmup=warmup),
-        both_ends=_run_variant(cfg, setpoint, both_ends=True, warmup=warmup),
+        source_only=source_only,
+        both_ends=both_ends,
         setpoint=setpoint,
     )
 

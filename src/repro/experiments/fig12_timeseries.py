@@ -24,10 +24,11 @@ from typing import Optional
 
 from ..analysis.report import Table, format_ms, format_rate
 from ..core.config import EVALUATION, ExperimentConfig
+from ..parallel import SINGLE_TENANT, SweepPoint, SweepRunner
 from ..resources.units import MB
 from ..simulation.trace import Series
 from .common import scaled_config
-from .harness import ExperimentOutcome, MigrationSpec, run_single_tenant
+from .harness import ExperimentOutcome, MigrationSpec
 
 __all__ = ["Fig12Result", "run", "main"]
 
@@ -122,25 +123,38 @@ def run(
     setpoint: float = DEFAULT_SETPOINT,
     warmup: float = 20.0,
     obs_dir: Optional[str] = None,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
 ) -> Fig12Result:
     """Run the Figure 12 dynamic migration and analyse its series.
 
     ``obs_dir`` enables the observability runtime and writes
     ``fig12.report.json`` plus the span trace ``fig12.trace.jsonl``
     into that directory; the measured series are bit-identical either
-    way (observation is read-only).
+    way (observation is read-only).  The run dispatches through the
+    :class:`SweepRunner`, sharing ``run all``'s warm worker pool.
     """
     cfg = scaled_config(config or EVALUATION, scale, seed)
     trace_path = None
     if obs_dir is not None:
         os.makedirs(obs_dir, exist_ok=True)
         trace_path = os.path.join(obs_dir, "fig12.trace.jsonl")
-    outcome = run_single_tenant(
-        cfg,
-        MigrationSpec.dynamic(setpoint),
-        warmup=warmup,
-        observe=obs_dir is not None,
-        obs_trace_path=trace_path,
+    runner = SweepRunner(jobs=jobs, cache=cache, pool=pool)
+    [outcome] = runner.run(
+        [
+            SweepPoint(
+                label="fig12",
+                config=cfg,
+                spec=MigrationSpec.dynamic(setpoint),
+                task=SINGLE_TENANT,
+                kwargs={
+                    "warmup": warmup,
+                    "observe": obs_dir is not None,
+                    "obs_trace_path": trace_path,
+                },
+            )
+        ]
     )
     if obs_dir is not None and outcome.run_report is not None:
         outcome.run_report.write(os.path.join(obs_dir, "fig12.report.json"))

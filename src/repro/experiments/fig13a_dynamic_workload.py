@@ -23,9 +23,10 @@ from typing import Optional
 
 from ..analysis.report import Table, format_ms, format_rate
 from ..core.config import EVALUATION, ExperimentConfig
+from ..parallel import SINGLE_TENANT, SweepPoint, SweepRunner
 from ..resources.units import MB
 from .common import scaled_config
-from .harness import ExperimentOutcome, MigrationSpec, RateChange, run_single_tenant
+from .harness import ExperimentOutcome, MigrationSpec, RateChange
 
 __all__ = ["Fig13aResult", "run", "main"]
 
@@ -96,18 +97,34 @@ def run(
     surge_factor: float = DEFAULT_SURGE,
     surge_at: float = DEFAULT_SURGE_AT,
     warmup: float = 20.0,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
 ) -> Fig13aResult:
-    """Run Slacker and the equal-speed fixed comparator."""
+    """Run Slacker and the equal-speed fixed comparator.
+
+    The fixed comparator's rate is the Slacker run's measured average,
+    so the two points are inherently sequential; each still dispatches
+    through the :class:`SweepRunner`, sharing ``run all``'s warm
+    worker pool and result cache.
+    """
     cfg = scaled_config(config or EVALUATION, scale, seed)
     surge_at = surge_at * max(scale, 0.25)
     change = RateChange(at=surge_at, factor=surge_factor)
-    slacker = run_single_tenant(
-        cfg, MigrationSpec.dynamic(setpoint), warmup=warmup, rate_change=change
-    )
+    runner = SweepRunner(jobs=jobs, cache=cache, pool=pool)
+
+    def point(label: str, spec: MigrationSpec) -> SweepPoint:
+        return SweepPoint(
+            label=label,
+            config=cfg,
+            spec=spec,
+            task=SINGLE_TENANT,
+            kwargs={"warmup": warmup, "rate_change": change},
+        )
+
+    [slacker] = runner.run([point("slacker", MigrationSpec.dynamic(setpoint))])
     equivalent_rate = slacker.average_migration_rate
-    fixed = run_single_tenant(
-        cfg, MigrationSpec.fixed(equivalent_rate), warmup=warmup, rate_change=change
-    )
+    [fixed] = runner.run([point("fixed", MigrationSpec.fixed(equivalent_rate))])
     return Fig13aResult(
         slacker=slacker,
         fixed=fixed,

@@ -23,8 +23,9 @@ from typing import Optional
 from ..analysis.report import Table, format_ms, format_rate
 from ..analysis.stats import summarize
 from ..core.config import EVALUATION, ExperimentConfig
+from ..parallel import MULTI_TENANT, SweepPoint, SweepRunner
 from .common import scaled_config
-from .harness import ExperimentOutcome, MigrationSpec, run_multi_tenant
+from .harness import ExperimentOutcome, MigrationSpec
 
 __all__ = ["Fig13bResult", "run", "main"]
 
@@ -85,20 +86,31 @@ def run(
     setpoint: float = DEFAULT_SETPOINT,
     num_tenants: int = DEFAULT_TENANTS,
     warmup: float = 20.0,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
 ) -> Fig13bResult:
-    """Run the multi-tenant migration and its fixed comparator."""
+    """Run the multi-tenant migration and its fixed comparator.
+
+    The comparator's rate comes from the Slacker run, so the points
+    are sequential; both dispatch through the :class:`SweepRunner`,
+    sharing ``run all``'s warm worker pool and result cache.
+    """
     cfg = scaled_config(config or EVALUATION, scale, seed)
-    slacker = run_multi_tenant(
-        cfg,
-        MigrationSpec.dynamic(setpoint),
-        num_tenants=num_tenants,
-        warmup=warmup,
-    )
-    fixed = run_multi_tenant(
-        cfg,
-        MigrationSpec.fixed(slacker.average_migration_rate),
-        num_tenants=num_tenants,
-        warmup=warmup,
+    runner = SweepRunner(jobs=jobs, cache=cache, pool=pool)
+
+    def point(label: str, spec: MigrationSpec) -> SweepPoint:
+        return SweepPoint(
+            label=label,
+            config=cfg,
+            spec=spec,
+            task=MULTI_TENANT,
+            kwargs={"num_tenants": num_tenants, "warmup": warmup},
+        )
+
+    [slacker] = runner.run([point("slacker", MigrationSpec.dynamic(setpoint))])
+    [fixed] = runner.run(
+        [point("fixed", MigrationSpec.fixed(slacker.average_migration_rate))]
     )
     return Fig13bResult(
         slacker=slacker, fixed=fixed, setpoint=setpoint, num_tenants=num_tenants

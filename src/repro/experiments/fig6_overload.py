@@ -22,9 +22,10 @@ from typing import Optional
 from ..analysis.report import Table, format_ms, format_seconds
 from ..analysis.stats import is_diverging, trend_slope
 from ..core.config import CASE_STUDY, ExperimentConfig
+from ..parallel import SINGLE_TENANT, SweepPoint, SweepRunner
 from ..resources.units import mb_per_sec
 from .common import scaled_config
-from .harness import ExperimentOutcome, MigrationSpec, run_single_tenant
+from .harness import ExperimentOutcome, MigrationSpec
 
 __all__ = ["Fig6Result", "run", "main"]
 
@@ -69,11 +70,28 @@ def run(
     seed: Optional[int] = None,
     rate_mb: int = OVERLOAD_RATE_MB,
     warmup: float = 20.0,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
 ) -> Fig6Result:
-    """Run the overload experiment; ``scale`` shrinks the database."""
+    """Run the overload experiment; ``scale`` shrinks the database.
+
+    The single point dispatches through the :class:`SweepRunner`, so
+    ``python -m repro run all`` shares one warm worker pool and result
+    cache across every figure — one driver, one code path.
+    """
     cfg = scaled_config(config or CASE_STUDY, scale, seed)
-    outcome = run_single_tenant(
-        cfg, MigrationSpec.fixed(mb_per_sec(rate_mb)), warmup=warmup
+    runner = SweepRunner(jobs=jobs, cache=cache, pool=pool)
+    [outcome] = runner.run(
+        [
+            SweepPoint(
+                label="fig6",
+                config=cfg,
+                spec=MigrationSpec.fixed(mb_per_sec(rate_mb)),
+                task=SINGLE_TENANT,
+                kwargs={"warmup": warmup},
+            )
+        ]
     )
     series = outcome.tenants[0].latency
     start, end = outcome.window_start, outcome.window_end

@@ -228,6 +228,7 @@ def _build_cluster(
     config: ExperimentConfig,
     streams: RandomStreams,
     retry_policy=None,
+    lease_ttl=None,
 ) -> SlackerCluster:
     env = Environment()
     node_config = NodeConfig(
@@ -243,6 +244,7 @@ def _build_cluster(
         node_config=node_config,
         streams=streams,
         retry_policy=retry_policy,
+        lease_ttl=lease_ttl,
     )
 
 

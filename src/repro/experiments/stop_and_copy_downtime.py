@@ -20,9 +20,10 @@ from typing import Optional, Sequence
 
 from ..analysis.report import Table, format_seconds
 from ..core.config import EVALUATION, ExperimentConfig
+from ..parallel import SINGLE_TENANT, SweepPoint, SweepRunner
 from ..resources.units import MB, mb_per_sec
 from .common import scaled_config
-from .harness import MigrationSpec, run_single_tenant
+from .harness import MigrationSpec
 
 __all__ = ["DowntimePoint", "StopAndCopyResultSet", "run", "main"]
 
@@ -75,10 +76,19 @@ def run(
     seed: Optional[int] = None,
     sizes_mb: Sequence[int] = DEFAULT_SIZES_MB,
     warmup: float = 10.0,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
 ) -> StopAndCopyResultSet:
-    """Sweep db sizes across stop-and-copy, dump-reimport, and live."""
+    """Sweep db sizes across stop-and-copy, dump-reimport, and live.
+
+    The (size x method) grid is embarrassingly parallel, so the whole
+    sweep dispatches through the :class:`SweepRunner` — with ``jobs``
+    or a shared warm ``pool`` the points fan out across workers.
+    """
     base = config or EVALUATION
-    points: list[DowntimePoint] = []
+    sweep: list[SweepPoint] = []
+    labels: list[tuple[str, int]] = []
     for size_mb in sizes_mb:
         scale = size_mb * MB / base.tenant.data_bytes
         cfg = scaled_config(base, scale, seed)
@@ -87,29 +97,32 @@ def run(
         cfg = replace(
             cfg, workload=replace(cfg.workload, arrival_rate=1.0, burst_factor=1.0)
         )
-        for kind in ("stop-and-copy", "dump-reimport"):
-            outcome = run_single_tenant(
-                cfg, MigrationSpec(kind=kind), warmup=warmup, cooldown=1.0
-            )
-            points.append(
-                DowntimePoint(
-                    method=kind,
-                    size_mb=size_mb,
-                    downtime=outcome.migration.downtime,
-                    duration=outcome.migration.duration,
+        for method, spec in (
+            ("stop-and-copy", MigrationSpec(kind="stop-and-copy")),
+            ("dump-reimport", MigrationSpec(kind="dump-reimport")),
+            ("live (8 MB/s)", MigrationSpec.fixed(mb_per_sec(8))),
+        ):
+            labels.append((method, size_mb))
+            sweep.append(
+                SweepPoint(
+                    label=f"{method}@{size_mb}",
+                    config=cfg,
+                    spec=spec,
+                    task=SINGLE_TENANT,
+                    kwargs={"warmup": warmup, "cooldown": 1.0},
                 )
             )
-        live = run_single_tenant(
-            cfg, MigrationSpec.fixed(mb_per_sec(8)), warmup=warmup, cooldown=1.0
+    runner = SweepRunner(jobs=jobs, cache=cache, pool=pool)
+    records = runner.run(sweep)
+    points = [
+        DowntimePoint(
+            method=method,
+            size_mb=size_mb,
+            downtime=record.migration.downtime,
+            duration=record.migration.duration,
         )
-        points.append(
-            DowntimePoint(
-                method="live (8 MB/s)",
-                size_mb=size_mb,
-                downtime=live.migration.downtime,
-                duration=live.migration.duration,
-            )
-        )
+        for (method, size_mb), record in zip(labels, records)
+    ]
     return StopAndCopyResultSet(points=points)
 
 

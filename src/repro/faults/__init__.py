@@ -8,7 +8,7 @@ semantics, and the invariants the chaos sweep checks.
 """
 
 from .injector import FaultInjector, FaultStats, MessageFate
-from .plan import FaultPlan, MessageFaults, ScheduledFault
+from .plan import FaultPlan, MessageFaults, PartitionFault, ScheduledFault
 
 __all__ = [
     "FaultInjector",
@@ -16,5 +16,6 @@ __all__ = [
     "FaultStats",
     "MessageFate",
     "MessageFaults",
+    "PartitionFault",
     "ScheduledFault",
 ]

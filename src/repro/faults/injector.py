@@ -27,7 +27,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..simulation import Environment, RandomStreams
-from .plan import FaultPlan, ScheduledFault
+from .plan import FaultPlan, PartitionFault, ScheduledFault
 
 __all__ = ["MessageFate", "FaultStats", "FaultInjector"]
 
@@ -53,6 +53,9 @@ class FaultStats:
     disk_stalls: int = 0
     disk_rate_collapses: int = 0
     backup_aborts: int = 0
+    partitions_started: int = 0
+    partitions_ended: int = 0
+    gray_drops: int = 0
     #: Scheduled faults that found nothing to act on (e.g. an
     #: ``abort_backup`` when no migration was in flight).
     noops: int = 0
@@ -67,6 +70,9 @@ class FaultStats:
             "disk_stalls": self.disk_stalls,
             "disk_rate_collapses": self.disk_rate_collapses,
             "backup_aborts": self.backup_aborts,
+            "partitions_started": self.partitions_started,
+            "partitions_ended": self.partitions_ended,
+            "gray_drops": self.gray_drops,
             "noops": self.noops,
         }
 
@@ -85,6 +91,19 @@ class FaultInjector:
         self._rng = streams.stream("faults:messages")
         self.stats = FaultStats()
         self._down: set[str] = set()
+        #: Hard-blocked (sender, recipient) links, refcounted because
+        #: overlapping splits/oneways may block the same pair.
+        self._blocked_links: dict[tuple[str, str], int] = {}
+        #: Active flapping faults (checked per message via arithmetic,
+        #: not timer processes, so an idle flap costs zero events).
+        self._flapping: list[PartitionFault] = []
+        #: node -> active gray failures touching it.
+        self._gray: dict[str, list[PartitionFault]] = {}
+        #: Lazily-created stream for gray-failure fate draws; separate
+        #: from ``faults:messages`` so adding a partition to a plan
+        #: never perturbs the probabilistic message-fault draws.
+        self._streams = streams
+        self._gray_rng = None
         self.cluster = None
         #: Optional :class:`~repro.obs.Observability`, set by
         #: ``Observability.attach``; ``None`` keeps fault paths free of
@@ -101,6 +120,8 @@ class FaultInjector:
         cluster.bus.faults = self
         for fault in self.plan.scheduled:
             self.env.process(self._run_scheduled(fault))
+        for fault in self.plan.partitions:
+            self.env.process(self._run_partition(fault))
         return self
 
     # -- bus hooks ---------------------------------------------------------
@@ -109,30 +130,75 @@ class FaultInjector:
         """True while ``name``'s middleware daemon is crashed."""
         return name in self._down
 
+    def link_blocked(self, sender: str, recipient: str) -> bool:
+        """True while the ``sender`` → ``recipient`` link is cut.
+
+        Hard blocks (oneway/split windows) are refcounted set lookups;
+        flapping links are pure arithmetic on the window phase, so no
+        timer events fire per flap cycle.
+        """
+        if self._blocked_links.get((sender, recipient), 0) > 0:
+            return True
+        if self._flapping:
+            now = self.env.now
+            for fault in self._flapping:
+                if fault.src == sender and fault.dst == recipient:
+                    phase = (now - fault.at) % fault.period
+                    if phase < fault.period * fault.duty:
+                        return True
+        return False
+
     def message_fate(self, sender: str, recipient: str) -> Optional[MessageFate]:
         """Draw the fate of one message, or ``None`` for fault-free."""
+        fate: Optional[MessageFate] = None
         mf = self.plan.messages
-        if not mf.active or self.env.now < mf.after:
-            return None
-        rng = self._rng
-        self.stats.fates_drawn += 1
-        if mf.drop_prob > 0 and rng.random() < mf.drop_prob:
+        if mf.active and self.env.now >= mf.after:
+            rng = self._rng
+            self.stats.fates_drawn += 1
+            if mf.drop_prob > 0 and rng.random() < mf.drop_prob:
+                if self.obs is not None:
+                    self.obs.fault_activations.inc()
+                return MessageFate(drop=True)
+            duplicate = mf.dup_prob > 0 and rng.random() < mf.dup_prob
+            delay = 0.0
+            if mf.delay_prob > 0 and rng.random() < mf.delay_prob:
+                delay = rng.uniform(mf.delay_min, mf.delay_max)
+            elif mf.reorder_prob > 0 and rng.random() < mf.reorder_prob:
+                # Reordering is a targeted long delay: later messages on
+                # the same hop overtake this one.
+                delay = mf.reorder_delay
+            if duplicate or delay > 0.0:
+                if self.obs is not None:
+                    self.obs.fault_activations.inc()
+                fate = MessageFate(duplicate=duplicate, delay=delay)
+        if self._gray:
+            fate = self._gray_fate(sender, recipient, fate)
+        return fate
+
+    def _gray_fate(
+        self, sender: str, recipient: str, fate: Optional[MessageFate]
+    ) -> Optional[MessageFate]:
+        """Layer active gray failures on top of a probabilistic fate."""
+        drop_prob = 0.0
+        extra_delay = 0.0
+        for name in (sender, recipient):
+            for fault in self._gray.get(name, ()):
+                drop_prob = max(drop_prob, fault.drop_prob)
+                extra_delay += fault.delay
+        if drop_prob <= 0.0 and extra_delay <= 0.0:
+            return fate
+        if self._gray_rng is None:
+            self._gray_rng = self._streams.stream("faults:gray")
+        if drop_prob > 0.0 and self._gray_rng.random() < drop_prob:
+            self.stats.gray_drops += 1
             if self.obs is not None:
                 self.obs.fault_activations.inc()
             return MessageFate(drop=True)
-        duplicate = mf.dup_prob > 0 and rng.random() < mf.dup_prob
-        delay = 0.0
-        if mf.delay_prob > 0 and rng.random() < mf.delay_prob:
-            delay = rng.uniform(mf.delay_min, mf.delay_max)
-        elif mf.reorder_prob > 0 and rng.random() < mf.reorder_prob:
-            # Reordering is a targeted long delay: later messages on
-            # the same hop overtake this one.
-            delay = mf.reorder_delay
-        if not duplicate and delay <= 0.0:
-            return None
-        if self.obs is not None:
-            self.obs.fault_activations.inc()
-        return MessageFate(duplicate=duplicate, delay=delay)
+        if extra_delay <= 0.0:
+            return fate
+        if fate is None:
+            return MessageFate(delay=extra_delay)
+        return MessageFate(duplicate=fate.duplicate, delay=fate.delay + extra_delay)
 
     # -- scheduled faults --------------------------------------------------
 
@@ -217,6 +283,39 @@ class FaultInjector:
             sequential_bandwidth=disk.params.sequential_bandwidth / fault.factor,
             random_bandwidth=disk.params.random_bandwidth / fault.factor,
         )
+
+    # -- partitions --------------------------------------------------------
+
+    def _run_partition(self, fault: PartitionFault):
+        """Activate one partition window and tear it down after."""
+        yield self.env.timeout(fault.at)
+        self.stats.partitions_started += 1
+        if self.obs is not None:
+            self.obs.fault_activations.inc()
+        links = fault.links()
+        if fault.kind == "flap":
+            self._flapping.append(fault)
+        elif fault.kind == "gray":
+            self._gray.setdefault(fault.node, []).append(fault)
+        else:
+            for link in links:
+                self._blocked_links[link] = self._blocked_links.get(link, 0) + 1
+        yield self.env.timeout(fault.duration)
+        if fault.kind == "flap":
+            self._flapping.remove(fault)
+        elif fault.kind == "gray":
+            entries = self._gray[fault.node]
+            entries.remove(fault)
+            if not entries:
+                del self._gray[fault.node]
+        else:
+            for link in links:
+                remaining = self._blocked_links[link] - 1
+                if remaining:
+                    self._blocked_links[link] = remaining
+                else:
+                    del self._blocked_links[link]
+        self.stats.partitions_ended += 1
 
     def _abort_backup(self, fault: ScheduledFault) -> None:
         node = self._node(fault.node)

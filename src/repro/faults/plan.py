@@ -12,7 +12,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["FaultKind", "MessageFaults", "ScheduledFault", "FaultPlan"]
+__all__ = [
+    "FaultKind",
+    "MessageFaults",
+    "ScheduledFault",
+    "PartitionFault",
+    "FaultPlan",
+]
 
 #: The scheduled-fault kinds the injector understands.
 FaultKind = str
@@ -122,12 +128,103 @@ class ScheduledFault:
             raise ValueError(f"{self.kind} needs a factor in (0, 1], got {self.factor}")
 
 
+#: Valid values for :attr:`PartitionFault.kind`.
+PARTITION_KINDS = frozenset({"oneway", "split", "flap", "gray"})
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    """A link-level network fault active over a time window.
+
+    Partitions act on *links* (ordered sender→recipient pairs) rather
+    than nodes, so one-way silence is expressible: an ``oneway``
+    partition blocks ``src``→``dst`` while the reverse direction keeps
+    flowing.  A ``split`` cuts every link crossing between the two
+    ``groups`` (both directions).  A ``flap`` blocks ``src``→``dst``
+    only during the first ``duty`` fraction of each ``period`` — a link
+    that comes and goes.  A ``gray`` failure targets a *node*: every
+    message it sends or receives is dropped with ``drop_prob`` and
+    delayed by ``delay`` — slow and lossy, but not dead, which is what
+    confuses failure detectors built on silence horizons.
+    """
+
+    at: float
+    duration: float
+    kind: FaultKind = "oneway"
+    src: str = ""
+    dst: str = ""
+    groups: tuple[tuple[str, ...], tuple[str, ...]] = ((), ())
+    period: float = 1.0
+    duty: float = 0.5
+    node: str = ""
+    drop_prob: float = 0.5
+    delay: float = 0.0
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.kind not in PARTITION_KINDS:
+            raise ValueError(
+                f"kind must be one of {sorted(PARTITION_KINDS)}, got {self.kind!r}"
+            )
+        if self.kind in ("oneway", "flap"):
+            if not self.src or not self.dst:
+                raise ValueError(f"{self.kind} partitions need src and dst")
+            if self.src == self.dst:
+                raise ValueError("src and dst must differ")
+        if self.kind == "flap":
+            if self.period <= 0:
+                raise ValueError(f"flap period must be > 0, got {self.period}")
+            if not 0.0 < self.duty < 1.0:
+                raise ValueError(f"flap duty must be in (0, 1), got {self.duty}")
+        if self.kind == "split":
+            # Normalise group containers to tuples so plans stay hashable.
+            groups = tuple(tuple(g) for g in self.groups)
+            object.__setattr__(self, "groups", groups)
+            if len(groups) != 2 or not groups[0] or not groups[1]:
+                raise ValueError("split partitions need two non-empty groups")
+            if set(groups[0]) & set(groups[1]):
+                raise ValueError("split groups must be disjoint")
+        if self.kind == "gray":
+            if not self.node:
+                raise ValueError("gray failures must name a node")
+            if not 0.0 <= self.drop_prob <= 1.0:
+                raise ValueError(
+                    f"drop_prob must be in [0, 1], got {self.drop_prob}"
+                )
+            if self.delay < 0:
+                raise ValueError(f"delay must be >= 0, got {self.delay}")
+
+    def links(self) -> tuple[tuple[str, str], ...]:
+        """The ordered (sender, recipient) pairs this fault hard-blocks.
+
+        Only meaningful for ``oneway``/``flap`` (one link) and ``split``
+        (every cross-group link, both directions); gray failures do not
+        block links outright.
+        """
+        if self.kind in ("oneway", "flap"):
+            return ((self.src, self.dst),)
+        if self.kind == "split":
+            a, b = self.groups
+            pairs: list[tuple[str, str]] = []
+            for x in a:
+                for y in b:
+                    pairs.append((x, y))
+                    pairs.append((y, x))
+            return tuple(pairs)
+        return ()
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Everything that can go wrong in one run, as declarative data."""
 
     messages: MessageFaults = field(default_factory=MessageFaults)
     scheduled: tuple[ScheduledFault, ...] = ()
+    partitions: tuple[PartitionFault, ...] = ()
 
     def __post_init__(self) -> None:
         # Tolerate lists; store a hashable tuple.
@@ -136,8 +233,19 @@ class FaultPlan:
         for fault in self.scheduled:
             if not isinstance(fault, ScheduledFault):
                 raise TypeError(f"scheduled entries must be ScheduledFault, got {fault!r}")
+        if not isinstance(self.partitions, tuple):
+            object.__setattr__(self, "partitions", tuple(self.partitions))
+        for fault in self.partitions:
+            if not isinstance(fault, PartitionFault):
+                raise TypeError(
+                    f"partition entries must be PartitionFault, got {fault!r}"
+                )
 
     @property
     def empty(self) -> bool:
         """True when the plan injects nothing at all."""
-        return not self.messages.active and not self.scheduled
+        return (
+            not self.messages.active
+            and not self.scheduled
+            and not self.partitions
+        )

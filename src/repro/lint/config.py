@@ -73,6 +73,11 @@ class LintConfig:
     #: Path prefixes inside ``placement_scope`` that ARE the launch
     #: path (the executor itself) and may call the node verbs.
     placement_launch_allow: tuple[str, ...] = ("repro/placement/executor.py",)
+    #: Path prefixes where migration-protocol frames must carry their
+    #: fencing token: any construction of a token-bearing registered
+    #: message must pass ``token=`` explicitly (SLK107); empty disables
+    #: the rule.
+    fencing_scope: tuple[str, ...] = ("repro/middleware/", "repro/migration/")
     #: Path prefixes (hot, tick-dominated scopes) where eager periodic
     #: timeout loops must use the coalesced timer API (SLK011); empty
     #: disables the rule.
@@ -119,6 +124,7 @@ def _config_from_table(table: dict) -> LintConfig:
         placement_launch_allow=_str_tuple(
             "placement_launch_allow", defaults.placement_launch_allow
         ),
+        fencing_scope=_str_tuple("fencing_scope", defaults.fencing_scope),
         periodic_scope=_str_tuple("periodic_scope", defaults.periodic_scope),
     )
 

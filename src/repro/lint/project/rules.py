@@ -1,4 +1,4 @@
-"""Cross-module project rules SLK101–SLK106.
+"""Cross-module project rules SLK101–SLK107.
 
 Each rule sees the whole :class:`~repro.lint.project.graph.ProjectGraph`
 rather than one file, so it can reason about reachability, registration
@@ -737,5 +737,84 @@ class PlacementLaunchPath(ProjectRule):
                     "slack-budget admission — launch placement migrations "
                     "through WaveExecutor (launch_wave/execute_serial) so "
                     "per-node budgets stay enforced",
+                )
+        return self.findings
+
+
+# ---------------------------------------------------------------------------
+# SLK107: migration-scope protocol frames carry their fencing token
+# ---------------------------------------------------------------------------
+
+
+@register_project
+class FencingTokenRequired(ProjectRule):
+    """Token-bearing protocol frames must be built with ``token=``.
+
+    The fencing invariant (a stale owner's frames bounce off every
+    receiver) only holds if each migration protocol message carries the
+    sender's fencing token.  The wire default of 0 exists solely for
+    the lease-free legacy path — a frame constructed in migration scope
+    without ``token=`` silently rides that unfenced path and defeats
+    the staleness check.  The rule finds every registered message class
+    declaring a ``token`` field and requires any construction of it
+    under ``fencing_scope`` to pass ``token=`` explicitly (or spread
+    ``**kwargs`` that may carry it).  Deliberately unfenced legacy
+    constructors take a line pragma.
+    """
+
+    id = "SLK107"
+    summary = (
+        "migration protocol frame constructed without its fencing token"
+    )
+
+    def scope(
+        self, graph: ProjectGraph, config: LintConfig
+    ) -> Iterable[ModuleInfo]:
+        if not config.fencing_scope:
+            return []
+        return [
+            m
+            for m in graph.modules.values()
+            if _in_prefixes(m.rel_path, config.fencing_scope)
+        ]
+
+    def run(self, graph: ProjectGraph, config: LintConfig) -> list[Finding]:
+        registered = ProtocolExhaustiveness._registered_messages(graph)
+        tokened = {
+            qualname
+            for qualname, cls in registered.items()
+            if any(
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "token"
+                for stmt in cls.node.body
+            )
+        }
+        if not tokened:
+            return self.findings
+        for module in self.scope(graph, config):
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                target = graph.resolve(module, name)
+                if target not in tokened:
+                    continue
+                if any(
+                    kw.arg == "token" or kw.arg is None
+                    for kw in node.keywords
+                ):
+                    continue
+                self.report(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"`{name}(...)` built without `token=` — migration "
+                    "protocol frames must carry the sender's fencing "
+                    "token so stale owners bounce off receivers (pass "
+                    "token=..., or pragma a deliberately legacy "
+                    "constructor)",
                 )
         return self.findings

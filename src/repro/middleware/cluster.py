@@ -88,11 +88,16 @@ class SlackerCluster:
         streams: Optional[RandomStreams] = None,
         trace: Optional[Trace] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        lease_ttl: Optional[float] = None,
     ):
         if not node_names:
             raise ValueError("need at least one node name")
         if len(set(node_names)) != len(node_names):
             raise ValueError(f"duplicate node names in {list(node_names)}")
+        if lease_ttl is not None and "controller" in node_names:
+            raise ValueError(
+                "node name 'controller' collides with the lease service endpoint"
+            )
         self.env = env
         self.streams = streams or RandomStreams(0)
         self.trace = trace if trace is not None else Trace()
@@ -123,6 +128,21 @@ class SlackerCluster:
         }
         for node in self.nodes.values():
             node.peers = {n: p for n, p in self.nodes.items() if p is not node}
+        #: Migration ownership leases (see repro.migration.lease), only
+        #: when ``lease_ttl`` is set; ``None`` keeps every node on the
+        #: unfenced token-0 path, event-for-event identical to a
+        #: cluster built without leases.
+        self.lease_manager = None
+        self.lease_service = None
+        if lease_ttl is not None:
+            # Imported here: middleware is a lower layer than migration
+            # for these classes, and lease-free clusters never pay it.
+            from ..migration.lease import LeaseManager, LeaseService
+
+            self.lease_manager = LeaseManager(env, ttl=lease_ttl)
+            self.lease_service = LeaseService(env, self.bus, self.lease_manager)
+            for node in self.nodes.values():
+                node.lease_manager = self.lease_manager
         #: The spec this cluster was built from, when built via
         #: :meth:`build_fleet`; None for hand-assembled clusters.
         self.fleet_spec: Optional[FleetSpec] = None
@@ -137,6 +157,7 @@ class SlackerCluster:
         streams: Optional[RandomStreams] = None,
         trace: Optional[Trace] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        lease_ttl: Optional[float] = None,
     ) -> "SlackerCluster":
         """Instantiate a whole fleet from a seeded :class:`FleetSpec`.
 
@@ -154,6 +175,7 @@ class SlackerCluster:
             streams=streams,
             trace=trace,
             retry_policy=retry_policy,
+            lease_ttl=lease_ttl,
         )
         names = spec.node_names()
         rng = cluster.streams.stream("fleet:tenants")
@@ -193,11 +215,14 @@ class SlackerCluster:
             node.start_heartbeats(interval)
 
     def start_failure_detectors(
-        self, interval: float = 1.0, miss_threshold: float = 3.0
+        self,
+        interval: float = 1.0,
+        miss_threshold: float = 3.0,
+        suspect_grace: float = 0.0,
     ) -> None:
         """Start the missed-heartbeat failure detector on every node."""
         for node in self.nodes.values():
-            node.start_failure_detector(interval, miss_threshold)
+            node.start_failure_detector(interval, miss_threshold, suspect_grace)
 
     def alive_nodes(self) -> list[str]:
         """Names of nodes whose middleware daemon is currently up."""

@@ -52,7 +52,7 @@ from ..migration.live import LiveMigration, LiveMigrationResult, MigrationAborte
 from ..migration.throttle import Throttle
 from ..resources.server import Server
 from ..resources.units import MB
-from ..simulation import Environment, Event, PeriodicTicker, Series, Trace
+from ..simulation import Environment, Event, Interrupt, PeriodicTicker, Series, Trace
 from .frontend import Frontend
 from .protocol import (
     CreateTenantReply,
@@ -60,6 +60,8 @@ from .protocol import (
     DeleteTenantReply,
     DeleteTenantRequest,
     Heartbeat,
+    LeaseRenewReply,
+    LeaseRenewRequest,
     MigrateTenantAccept,
     MigrateTenantComplete,
     MigrateTenantRequest,
@@ -131,6 +133,16 @@ class NodeStats:
     crashes: int = 0
     restarts: int = 0
     peers_declared_dead: int = 0
+    #: Peers moved to the suspect grace state (one-way silence).
+    peers_suspected: int = 0
+    #: Ownership leases granted for this node's outgoing migrations.
+    leases_acquired: int = 0
+    #: Successful lease renewals observed (LeaseRenewReply ok=True).
+    lease_renewals: int = 0
+    #: Migrations self-fenced because the local lease view expired.
+    lease_expired_aborts: int = 0
+    #: Protocol frames rejected for carrying a stale fencing token.
+    stale_tokens_rejected: int = 0
     completed: list[LiveMigrationResult] = field(default_factory=list)
 
 
@@ -166,6 +178,32 @@ class SlackerNode:
         self.peers: dict[str, SlackerNode] = {}
         #: Peers this node's failure detector currently considers dead.
         self.dead_peers: set[str] = set()
+        #: Peers in the suspect grace state: silent past the horizon
+        #: but not yet long enough to be declared dead (only populated
+        #: when the detector runs with ``suspect_grace > 0``).
+        self.suspected_peers: set[str] = set()
+        #: Optional :class:`~repro.migration.lease.LeaseManager`, wired
+        #: by the cluster when leases are enabled; ``None`` keeps every
+        #: migration on the token-0 legacy path, bit-identically.
+        self.lease_manager = None
+        #: Endpoint name lease renewals are sent to.
+        self.lease_endpoint_name = "controller"
+        #: When False the node skips *all* self-fencing — the
+        #: pre-handover fence gate and the lease-expiry self-abort — a
+        #: deliberately broken configuration that exists so the chaos
+        #: fuzzer can prove the invariant suite catches the violation.
+        self.fencing_enabled = True
+        #: tenant_id -> newest fencing token seen (receiver-side
+        #: staleness floor; survives lease release).
+        self._fence_tokens: dict[int, int] = {}
+        #: tenant_id -> this node's *local* view of its lease expiry,
+        #: advanced only by LeaseRenewReply messages — never by peeking
+        #: at the controller's live table (a partitioned node must act
+        #: on its own stale knowledge; that is what self-fencing means).
+        self._lease_expiry: dict[int, float] = {}
+        #: tenant_id -> fencing token of this node's in-flight
+        #: outgoing migration.
+        self._lease_tokens: dict[int, int] = {}
         #: tenant_id -> in-flight *outgoing* LiveMigration.
         self.active_migrations: dict[int, LiveMigration] = {}
         #: tenant_id -> latency Series attached by workload clients.
@@ -310,6 +348,19 @@ class SlackerNode:
         peer = self.peers[target]
         tenant.status = TenantStatus.MIGRATING_OUT
 
+        # Ownership lease: grant before any protocol frame leaves, so
+        # every message of this migration carries the fencing token.
+        # The grant is a local call (the controller initiates the
+        # migration, so it trivially reaches itself); *renewals* cross
+        # the bus and are what partitions starve.
+        token = 0
+        if self.lease_manager is not None:
+            lease = self.lease_manager.grant(tenant_id, self.name, target)
+            token = lease.token
+            self._lease_tokens[tenant_id] = token
+            self._lease_expiry[tenant_id] = lease.expires_at
+            self.stats.leases_acquired += 1
+
         # Control plane: ask the target to accept the tenant.
         accept_event = self.env.event()
         self._pending_accepts[tenant_id] = accept_event
@@ -318,6 +369,7 @@ class SlackerNode:
             target_node=target,
             setpoint=setpoint or 0.0,
             fixed_rate=fixed_rate or 0.0,
+            token=token,
         )
         try:
             yield self.env.process(self.endpoint.send(target, request))
@@ -335,8 +387,20 @@ class SlackerNode:
                     tenant,
                     f"no accept from {target} within {self.config.accept_timeout}s",
                 )
+        accept = accept_event.value
+        if accept is not None and not accept.ok:
+            # The target refused — on the legacy path accepts are
+            # always ok=True, so this only fires under fencing.
+            self._abandon_request(
+                tenant, f"{target} refused migrate request (stale fencing token)"
+            )
 
-        # Data plane: throttled live migration.
+        # Data plane: throttled live migration.  The fence gate runs on
+        # this node's *local* lease knowledge immediately before the
+        # handover point of no return.
+        fence = None
+        if self.lease_manager is not None and self.fencing_enabled:
+            fence = lambda: self.env.now < self._lease_expiry.get(tenant_id, 0.0)
         throttle = Throttle(self.env, rate=fixed_rate or 0.0)
         migration = LiveMigration(
             self.env,
@@ -345,10 +409,16 @@ class SlackerNode:
             throttle,
             chunk_bytes=self.config.chunk_bytes,
             on_handover=lambda engine: self._handover(tenant, peer, engine),
+            fence=fence,
             obs=self.obs,
         )
         self.active_migrations[tenant_id] = migration
         migration_proc = self.env.process(migration.run())
+        renew_proc = None
+        if self.lease_manager is not None:
+            renew_proc = self.env.process(
+                self._lease_renew_loop(tenant_id, token, migration)
+            )
 
         controller = None
         if setpoint is not None:
@@ -407,6 +477,15 @@ class SlackerNode:
             throttle.stop()
             if controller is not None:
                 controller.stop()
+            if renew_proc is not None and renew_proc.is_alive:
+                renew_proc.interrupt("migration finished")
+            if self.lease_manager is not None:
+                # Completed or rolled back, the lease is over either
+                # way; the fencing-token floor stays behind so stale
+                # frames from this attempt keep bouncing.
+                self.lease_manager.release(tenant_id, token)
+                self._lease_tokens.pop(tenant_id, None)
+                self._lease_expiry.pop(tenant_id, None)
 
         # Tell the target (and any observer) the migration finished.
         # Best-effort: the handover already happened, so a lost
@@ -416,6 +495,7 @@ class SlackerNode:
             duration=result.duration,
             downtime=result.downtime,
             bytes_moved=result.total_bytes,
+            token=token,
         )
         yield from self._send_tolerant(target, complete)
         self.stats.migrations_out += 1
@@ -424,7 +504,12 @@ class SlackerNode:
 
     def _abandon_request(self, tenant: Tenant, reason: str):
         """Roll back a migration that died before the data plane started."""
-        self._pending_accepts.pop(tenant.tenant_id, None)
+        tenant_id = tenant.tenant_id
+        self._pending_accepts.pop(tenant_id, None)
+        if self.lease_manager is not None and tenant_id in self._lease_tokens:
+            self.lease_manager.release(tenant_id, self._lease_tokens[tenant_id])
+            self._lease_tokens.pop(tenant_id, None)
+            self._lease_expiry.pop(tenant_id, None)
         tenant.status = TenantStatus.ACTIVE
         self.stats.migrations_aborted += 1
         raise MigrationAborted(reason)
@@ -439,11 +524,70 @@ class SlackerNode:
         if tenant.tenant_id not in self.registry:
             self.stats.duplicates_ignored += 1
             return
+        if self.lease_manager is not None:
+            # Audit hook: report this commit against the controller's
+            # ground-truth lease table.  A correctly fenced node never
+            # reaches here with an expired/superseded token — the chaos
+            # fuzzer's invariant suite checks exactly that.
+            self.lease_manager.record_commit(
+                tenant.tenant_id, self._lease_tokens.get(tenant.tenant_id, 0)
+            )
         self.registry.remove(tenant.tenant_id)
         self.detach_latency_series(tenant.tenant_id)
         tenant.record_move(self.env.now, self.name, peer.name)
         peer.adopt_tenant(tenant, engine)
         self.frontend.update_location(tenant.tenant_id, peer.name)
+
+    # -- leases and fencing ----------------------------------------------------
+
+    def check_fence(self, tenant_id: int, token: int) -> bool:
+        """Receiver-side staleness check for a frame's fencing token.
+
+        Token 0 is the unfenced legacy path and always passes.  A token
+        older than the newest this node has seen for the tenant is a
+        write from a superseded owner: rejected.  Newer tokens advance
+        the floor.
+        """
+        if token == 0:
+            return True
+        if token < self._fence_tokens.get(tenant_id, 0):
+            self.stats.stale_tokens_rejected += 1
+            return False
+        self._fence_tokens[tenant_id] = token
+        return True
+
+    def _lease_renew_loop(self, tenant_id: int, token: int, migration) -> object:
+        """Process: keep the migration's lease renewed; self-fence on expiry.
+
+        The cadence leaves ttl/3 headroom, so one lost renewal round
+        trip is survivable but a real partition is not.  Expiry is
+        judged on the node's *local* ``_lease_expiry`` view — the whole
+        point is that a node cut off from the controller must abort on
+        its own, before its stale ownership can do damage.
+        """
+        env = self.env
+        period = self.lease_manager.ttl / 3.0
+        try:
+            while True:
+                # Eager on purpose: each renewal send consumes sim time
+                # (NIC + fault delays), so wakes drift like heartbeats.
+                yield env.timeout(period)  # slackerlint: disable=SLK011
+                if not self.alive or tenant_id not in self.active_migrations:
+                    return
+                if self.fencing_enabled and env.now >= self._lease_expiry.get(
+                    tenant_id, 0.0
+                ):
+                    self.stats.lease_expired_aborts += 1
+                    migration.try_abort(
+                        f"ownership lease for tenant {tenant_id} expired"
+                    )
+                    return
+                request = LeaseRenewRequest(
+                    tenant_id=tenant_id, token=token, node=self.name
+                )
+                yield from self._send_tolerant(self.lease_endpoint_name, request)
+        except Interrupt:
+            return
 
     def enqueue_migration(
         self,
@@ -557,23 +701,41 @@ class SlackerNode:
                 yield from self._send_tolerant(peer, beat)
 
     def start_failure_detector(
-        self, interval: float = 1.0, miss_threshold: float = 3.0
+        self,
+        interval: float = 1.0,
+        miss_threshold: float = 3.0,
+        suspect_grace: float = 0.0,
     ) -> None:
         """Watch peer heartbeats; a silence longer than ``interval *
         miss_threshold`` seconds declares the peer dead and cancels
         in-flight migrations targeting it (the tenant stays at the
         source).  Recovered peers (a fresh heartbeat) are un-declared.
+
+        ``suspect_grace`` (seconds) inserts a *suspect* state between
+        healthy and dead: a peer past the silence horizon is only
+        suspected (``suspected_peers``; no migrations cancelled) until
+        the silence also exceeds ``horizon + suspect_grace`` — so one
+        one-way partition window doesn't instantly kill migrations
+        that would have survived it.  The default ``0.0`` runs the
+        original two-state detector on an unchanged event path
+        (bit-identity locked by tests).
         """
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
         if miss_threshold <= 0:
             raise ValueError(f"miss_threshold must be positive, got {miss_threshold}")
+        if suspect_grace < 0:
+            raise ValueError(f"suspect_grace must be >= 0, got {suspect_grace}")
         if self._detector_interval is not None:
             raise RuntimeError(f"node {self.name} already runs a failure detector")
         self._detector_interval = interval
-        self.env.process(self._failure_detector_loop(interval, miss_threshold))
+        self.env.process(
+            self._failure_detector_loop(interval, miss_threshold, suspect_grace)
+        )
 
-    def _failure_detector_loop(self, interval: float, miss_threshold: float):
+    def _failure_detector_loop(
+        self, interval: float, miss_threshold: float, suspect_grace: float = 0.0
+    ):
         now = self.env.now
         for peer in self.peers:
             self._peer_last_seen.setdefault(peer, now)
@@ -588,7 +750,12 @@ class SlackerNode:
         # itself, which always runs with the eager loop's comparisons.
         ticker = PeriodicTicker(self.env, interval)
         while True:
-            if self.alive and peer_names and not self.dead_peers:
+            if (
+                self.alive
+                and peer_names
+                and not self.dead_peers
+                and not self.suspected_peers
+            ):
                 # Earliest tick at which the quietest peer's silence
                 # could exceed the horizon, probed with the scan's own
                 # float predicate (t - last > horizon) tick by tick so
@@ -608,6 +775,28 @@ class SlackerNode:
                 yield self._parked_until_restart()
                 ticker.skip_until(self.env.now)
                 continue
+            if suspect_grace > 0.0:
+                for peer in peer_names:
+                    silent = self.env.now - self._peer_last_seen.get(peer, 0.0)
+                    if silent > horizon + suspect_grace:
+                        self.suspected_peers.discard(peer)
+                        if peer not in self.dead_peers:
+                            self.dead_peers.add(peer)
+                            self.stats.peers_declared_dead += 1
+                            self._cancel_migrations_to(peer)
+                    elif silent > horizon:
+                        if (
+                            peer not in self.suspected_peers
+                            and peer not in self.dead_peers
+                        ):
+                            self.suspected_peers.add(peer)
+                            self.stats.peers_suspected += 1
+                    else:
+                        self.suspected_peers.discard(peer)
+                        self.dead_peers.discard(peer)
+                continue
+            # Legacy two-state scan, byte-for-byte the original
+            # comparisons (the flag-off path is bit-identity locked).
             for peer in peer_names:
                 silent = self.env.now - self._peer_last_seen.get(peer, 0.0)
                 if silent > horizon:
@@ -662,10 +851,14 @@ class SlackerNode:
                 reply = DeleteTenantReply(tenant_id=message.tenant_id, ok=ok)
                 yield from self._send_tolerant(envelope.sender, reply)
             elif isinstance(message, MigrateTenantRequest):
-                # A peer announcing an incoming tenant: agree to receive.
+                # A peer announcing an incoming tenant: agree to receive
+                # unless the frame carries a stale fencing token.
                 # Re-sending an accept for a duplicate request is safe:
                 # the source ignores accepts with no pending migration.
-                accept = MigrateTenantAccept(tenant_id=message.tenant_id, ok=True)
+                ok = self.check_fence(message.tenant_id, message.token)
+                accept = MigrateTenantAccept(
+                    tenant_id=message.tenant_id, ok=ok, token=message.token
+                )
                 yield from self._send_tolerant(envelope.sender, accept)
             elif isinstance(message, MigrateTenantAccept):
                 pending = self._pending_accepts.pop(message.tenant_id, None)
@@ -675,11 +868,32 @@ class SlackerNode:
                     # Late or duplicated accept: the migration already
                     # started (or timed out and was rolled back).
                     self.stats.duplicates_ignored += 1
-            elif isinstance(message, (MigrateTenantComplete, TenantLocationUpdate)):
+            elif isinstance(message, MigrateTenantComplete):
+                # Informational — but a completion under a stale token
+                # is a superseded owner claiming a handover: reject it
+                # (check_fence counts the rejection) rather than let it
+                # shadow the live migration's bookkeeping.
+                self.check_fence(message.tenant_id, message.token)
+            elif isinstance(message, TenantLocationUpdate):
                 pass  # informational
             elif isinstance(message, Heartbeat):
                 self.peer_loads[message.node] = message
                 self._peer_last_seen[message.node] = self.env.now
+            elif isinstance(message, LeaseRenewReply):
+                if (
+                    message.ok
+                    and message.token == self._lease_tokens.get(message.tenant_id)
+                ):
+                    self._lease_expiry[message.tenant_id] = message.expires_at
+                    self.stats.lease_renewals += 1
+                else:
+                    # Refused renewal, or a late reply for a finished
+                    # (or superseded) migration: never *extend* local
+                    # knowledge from it.
+                    self.stats.duplicates_ignored += 1
+            elif isinstance(message, LeaseRenewRequest):
+                # Misrouted renewal (only the controller answers these).
+                self.stats.duplicates_ignored += 1
             elif isinstance(message, (CreateTenantReply, DeleteTenantReply)):
                 # Replies are normally consumed by the requesting client
                 # endpoint; one reaching a node's own mailbox is a late

@@ -38,6 +38,8 @@ __all__ = [
     "MigrateTenantComplete",
     "TenantLocationUpdate",
     "Heartbeat",
+    "LeaseRenewRequest",
+    "LeaseRenewReply",
 ]
 
 T = TypeVar("T")
@@ -154,13 +156,26 @@ def register_message(cls: Type[T]) -> Type[T]:
     return cls
 
 
-def pfield(number: int, default: Any = None) -> Any:
-    """Declare a protocol field with the given wire field number."""
+def pfield(number: int, default: Any = None, omit_default: bool = False) -> Any:
+    """Declare a protocol field with the given wire field number.
+
+    With ``omit_default=True`` the field is left off the wire when its
+    value equals ``default`` (protobuf proto3 semantics — the decoder
+    already fills absent fields from dataclass defaults).  This is how
+    fields are added to existing messages without changing the encoded
+    bytes of old-style frames: a default-valued field costs zero wire
+    bytes, so NIC transfer timing — and therefore whole-run
+    trajectories — stay bit-identical until someone actually sets it.
+    """
     from dataclasses import field as dc_field
 
     if number <= 0:
         raise ProtocolError(f"field numbers must be positive, got {number}")
-    metadata = {"field_number": number}
+    metadata: dict[str, Any] = {"field_number": number}
+    if omit_default:
+        if default is None:
+            raise ProtocolError("omit_default requires an explicit default")
+        metadata["omit_value"] = default
     if default is None:
         return dc_field(metadata=metadata)
     return dc_field(default=default, metadata=metadata)
@@ -174,7 +189,10 @@ def encode_message(message: Any) -> bytes:
     body = bytearray()
     for f in fields(cls):
         value = getattr(message, f.name)
-        body += _encode_field(f.metadata["field_number"], value)
+        meta = f.metadata
+        if "omit_value" in meta and value == meta["omit_value"]:
+            continue
+        body += _encode_field(meta["field_number"], value)
     return encode_varint(cls.MSG_ID) + encode_varint(len(body)) + bytes(body)
 
 
@@ -289,6 +307,9 @@ class MigrateTenantRequest:
     setpoint: float = pfield(3, default=0.0)
     #: Fixed throttle rate, bytes/second (used when setpoint == 0).
     fixed_rate: float = pfield(4, default=0.0)
+    #: Fencing token of the migration's ownership lease (0 = unfenced
+    #: legacy frame; omitted from the wire so legacy bytes are stable).
+    token: int = pfield(5, default=0, omit_default=True)
 
 
 @register_message
@@ -299,6 +320,8 @@ class MigrateTenantAccept:
     MSG_ID: ClassVar[int] = 6
     tenant_id: int = pfield(1)
     ok: bool = pfield(2, default=True)
+    #: Echo of the request's fencing token (0 = unfenced legacy frame).
+    token: int = pfield(3, default=0, omit_default=True)
 
 
 @register_message
@@ -311,6 +334,9 @@ class MigrateTenantComplete:
     duration: float = pfield(2)
     downtime: float = pfield(3)
     bytes_moved: int = pfield(4)
+    #: Fencing token the handover committed under (0 = unfenced legacy
+    #: frame); receivers reject stale tokens instead of applying them.
+    token: int = pfield(5, default=0, omit_default=True)
 
 
 @register_message
@@ -333,3 +359,31 @@ class Heartbeat:
     node: str = pfield(1)
     tenant_count: int = pfield(2)
     disk_utilization: float = pfield(3)
+
+
+@register_message
+@dataclass(frozen=True)
+class LeaseRenewRequest:
+    """Source node asks the controller to extend its migration lease.
+
+    Renewals cross the bus on purpose: a partition between the source
+    and the controller starves renewals, the local lease expires, and
+    the source self-fences — which is the whole point of leases.
+    """
+
+    MSG_ID: ClassVar[int] = 10
+    tenant_id: int = pfield(1)
+    token: int = pfield(2)
+    node: str = pfield(3)
+
+
+@register_message
+@dataclass(frozen=True)
+class LeaseRenewReply:
+    """Controller's answer: the lease now runs to ``expires_at``."""
+
+    MSG_ID: ClassVar[int] = 11
+    tenant_id: int = pfield(1)
+    token: int = pfield(2)
+    ok: bool = pfield(3, default=True)
+    expires_at: float = pfield(4, default=0.0)

@@ -42,13 +42,33 @@ __all__ = ["DeliveryError", "RetryPolicy", "Envelope", "MessageBus", "Endpoint"]
 
 
 class DeliveryError(Exception):
-    """A message could not be delivered (dropped, or retries exhausted)."""
+    """A message could not be delivered (dropped, or retries exhausted).
 
-    def __init__(self, sender: str, recipient: str, reason: str):
+    ``delivered_unknown`` distinguishes *interrupted* sends from failed
+    ones: the message may have reached the recipient, but every
+    acknowledgement was lost (e.g. the reply path is partitioned), so
+    the sender cannot know.  Callers must treat the operation as
+    possibly-applied — receivers are idempotent precisely for this.
+    """
+
+    def __init__(
+        self,
+        sender: str,
+        recipient: str,
+        reason: str,
+        delivered_unknown: bool = False,
+    ):
         super().__init__(f"{sender} -> {recipient}: {reason}")
         self.sender = sender
         self.recipient = recipient
         self.reason = reason
+        self.delivered_unknown = delivered_unknown
+
+
+#: Sentinel returned by :meth:`MessageBus.deliver` when the message
+#: reached the recipient's inbox but the acknowledgement path back to
+#: the sender is partitioned: the payload landed, the sender can't know.
+_UNACKED = "unacked"
 
 
 @dataclass(frozen=True)
@@ -117,8 +137,13 @@ class Endpoint:
         #: Sends that reached the recipient's inbox at least once.
         self.delivered = 0
         #: Sends that gave up (dropped without a policy, or retries
-        #: exhausted under one).
+        #: exhausted under one) with no attempt known to have landed.
         self.failed = 0
+        #: Sends that gave up but whose payload *may* have been
+        #: delivered — every acknowledgement was lost (one-way
+        #: partition on the reply path).  Distinct from ``failed``:
+        #: the outcome is unknown, not negative.
+        self.interrupted = 0
         #: Retry attempts beyond each send's first try.
         self.retries = 0
         #: Attempts abandoned because the per-message timeout fired.
@@ -153,6 +178,7 @@ class Endpoint:
             return True
 
         env = self.bus.env
+        unacked = False
         for attempt in range(policy.max_attempts):
             if attempt:
                 self.retries += 1
@@ -164,7 +190,20 @@ class Endpoint:
             deadline = env.timeout(policy.timeout)
             yield env.any_of([delivery, deadline])
             if delivery.triggered:
-                if delivery.value:
+                value = delivery.value
+                if value is _UNACKED:
+                    # The payload landed but the reply path is
+                    # partitioned: the sender cannot distinguish this
+                    # from a lost message until the timeout fires.
+                    unacked = True
+                    if not deadline.triggered:
+                        yield deadline
+                    self.timeouts += 1
+                    self.bus.send_timeouts += 1
+                    if obs is not None:
+                        obs.transport_timeouts.inc()
+                    continue
+                if value:
                     self.delivered += 1
                     if obs is not None:
                         obs.transport_delivered.inc()
@@ -178,6 +217,19 @@ class Endpoint:
                 self.bus.send_timeouts += 1
                 if obs is not None:
                     obs.transport_timeouts.inc()
+        if unacked:
+            # Interrupted, not failed: at least one attempt reached the
+            # recipient, only the acknowledgements were lost.
+            self.interrupted += 1
+            self.bus.send_interrupted += 1
+            if obs is not None:
+                obs.transport_failures.inc()
+            raise DeliveryError(
+                self.name,
+                recipient,
+                f"unacknowledged after {policy.max_attempts} attempts",
+                delivered_unknown=True,
+            )
         self.failed += 1
         self.bus.send_failures += 1
         if obs is not None:
@@ -222,6 +274,10 @@ class MessageBus:
         self.messages_dropped = 0
         #: Messages dropped because an end of the hop was crashed.
         self.messages_dropped_dead = 0
+        #: Messages lost to a partitioned (blocked) link.
+        self.messages_dropped_partition = 0
+        #: Deliveries that landed but whose ack path was partitioned.
+        self.acks_lost = 0
         #: Extra copies enqueued by duplicate faults.
         self.messages_duplicated = 0
         #: Messages held back by delay/reorder faults.
@@ -234,6 +290,8 @@ class MessageBus:
         self.send_timeouts = 0
         #: Sends that ultimately failed, bus-wide.
         self.send_failures = 0
+        #: Sends abandoned with delivery status unknown, bus-wide.
+        self.send_interrupted = 0
 
     def endpoint(self, name: str) -> Endpoint:
         """Create (or fetch) the endpoint for ``name``."""
@@ -248,12 +306,15 @@ class MessageBus:
             "bytes_on_wire": self.bytes_on_wire,
             "messages_dropped": self.messages_dropped,
             "messages_dropped_dead": self.messages_dropped_dead,
+            "messages_dropped_partition": self.messages_dropped_partition,
+            "acks_lost": self.acks_lost,
             "messages_duplicated": self.messages_duplicated,
             "messages_delayed": self.messages_delayed,
             "delay_seconds": self.delay_seconds,
             "send_retries": self.send_retries,
             "send_timeouts": self.send_timeouts,
             "send_failures": self.send_failures,
+            "send_interrupted": self.send_interrupted,
         }
 
     def deliver(self, sender: str, recipient: str, message: Any):
@@ -275,10 +336,22 @@ class MessageBus:
                 self.obs.transport_drops.inc()
             return False
 
+        # Duck-typed like the rest of the fault hook: test doubles may
+        # implement only is_down/message_fate.
+        link_blocked = getattr(faults, "link_blocked", None) if faults is not None else None
+
         sender_server = self.nics.get(sender)
         recipient_server = self.nics.get(recipient)
         if sender_server is not None:
             yield from sender_server.nic_out.transfer(len(wire))
+
+        if link_blocked is not None and link_blocked(sender, recipient):
+            # The forward link is partitioned: the sender paid to
+            # transmit, the wire ate the frame.
+            self.messages_dropped_partition += 1
+            if self.obs is not None:
+                self.obs.transport_drops.inc()
+            return False
 
         fate = None
         if faults is not None:
@@ -323,4 +396,15 @@ class MessageBus:
             target.inbox.put(envelope)
             target.received += 1
             self.messages_duplicated += 1
+        if (
+            self.retry_policy is not None
+            and link_blocked is not None
+            and link_blocked(recipient, sender)
+        ):
+            # Delivered, but the reply/ack link back to the sender is
+            # cut: report one-way silence so Endpoint.send accounts
+            # this as interrupted, not delivered.  Only modelled under
+            # a retry policy — the fail-fast path has no ack concept.
+            self.acks_lost += 1
+            return _UNACKED
         return True

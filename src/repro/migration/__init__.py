@@ -2,6 +2,7 @@
 and the PID-driven dynamic throttle controller."""
 
 from .controller import ControllerConfig, DynamicThrottleController, LatencyController
+from .lease import Lease, LeaseManager, LeaseService
 from .live import (
     DeltaRound,
     LiveMigration,
@@ -31,6 +32,9 @@ __all__ = [
     "DynamicThrottleController",
     "EmpiricalSlackEstimator",
     "LatencyController",
+    "Lease",
+    "LeaseManager",
+    "LeaseService",
     "LiveMigration",
     "LiveMigrationResult",
     "MigrationAborted",

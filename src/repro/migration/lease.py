@@ -1,0 +1,249 @@
+"""Migration ownership leases with fencing tokens.
+
+A partition can leave the source and target of an in-flight migration
+each believing it owns the tenant — the classic split-brain.  The fix
+is the standard lease/fencing-token construction:
+
+* the controller grants a **lease** per in-flight migration, tagged
+  with a strictly **monotonic fencing token**;
+* every migration protocol message carries the token, and receivers
+  reject any token older than the newest they have seen for that
+  tenant (stale writes from a paused/partitioned source bounce off);
+* the lease must be **renewed over the bus** before it expires — a
+  partition between source and controller starves renewals, the
+  source's *local* knowledge of the lease expires, and the source
+  self-fences by aborting (rolling back) *before* the handover point
+  of no return.
+
+The invariant this buys: at any simulated instant at most one node can
+commit a handover for a tenant, no matter how links drop, flap, or
+gray out.  :meth:`LeaseManager.record_commit` is the omniscient audit
+hook the chaos fuzzer checks — a commit recorded under an expired or
+superseded token is an invariant violation, full stop.
+
+Everything here is sim-time (``env.now``): no wall clock, no threads.
+Leases expire *lazily* — validity is a comparison against ``env.now``,
+so an idle lease costs zero simulation events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..middleware.protocol import LeaseRenewReply, LeaseRenewRequest
+from ..middleware.transport import DeliveryError
+from ..simulation import Environment
+
+__all__ = ["Lease", "LeaseManager", "LeaseService"]
+
+
+@dataclass
+class Lease:
+    """One migration's ownership grant."""
+
+    tenant_id: int
+    token: int
+    source: str
+    target: str
+    granted_at: float
+    expires_at: float
+
+    def valid_at(self, now: float) -> bool:
+        return now < self.expires_at
+
+
+@dataclass
+class CommitRecord:
+    """One handover commit as witnessed by the controller's audit log."""
+
+    tenant_id: int
+    token: int
+    at: float
+    #: True when the commit's token was the live, unexpired lease.
+    valid: bool
+
+
+@dataclass
+class LeaseStats:
+    granted: int = 0
+    renewed: int = 0
+    expired_renewals: int = 0
+    released: int = 0
+    stale_rejected: int = 0
+    invalid_commits: int = 0
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "leases_granted": self.granted,
+            "leases_renewed": self.renewed,
+            "lease_expired_renewals": self.expired_renewals,
+            "leases_released": self.released,
+            "lease_stale_rejected": self.stale_rejected,
+            "lease_invalid_commits": self.invalid_commits,
+        }
+
+
+class LeaseManager:
+    """Controller-side lease table with monotonic fencing tokens.
+
+    Grants are local calls (the controller initiates migrations, so it
+    trivially reaches itself); renewals arrive over the bus via
+    :class:`LeaseService` so partitions starve them realistically.
+    ``crash()``/``restart()`` model a fail-stop controller: a dead
+    manager answers nothing, so every outstanding lease runs out and
+    its holder self-fences.
+    """
+
+    def __init__(self, env: Environment, ttl: float = 2.0):
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
+        self.env = env
+        self.ttl = ttl
+        self.stats = LeaseStats()
+        self.alive = True
+        self._next_token = 1
+        #: tenant_id -> live lease (lazily expired).
+        self._leases: dict[int, Lease] = {}
+        #: tenant_id -> newest token ever granted, for staleness checks
+        #: that must survive lease release/regrant.
+        self._max_token: dict[int, int] = {}
+        #: Every handover commit ever reported, valid or not — the
+        #: chaos fuzzer's split-brain audit trail.
+        self.commit_log: list[CommitRecord] = []
+
+    # -- grant / renew / release ------------------------------------------
+
+    def grant(self, tenant_id: int, source: str, target: str) -> Lease:
+        """Grant a fresh lease; supersedes any earlier lease's token."""
+        token = self._next_token
+        self._next_token += 1
+        lease = Lease(
+            tenant_id=tenant_id,
+            token=token,
+            source=source,
+            target=target,
+            granted_at=self.env.now,
+            expires_at=self.env.now + self.ttl,
+        )
+        self._leases[tenant_id] = lease
+        self._max_token[tenant_id] = token
+        self.stats.granted += 1
+        return lease
+
+    def renew(self, tenant_id: int, token: int) -> Optional[Lease]:
+        """Extend the lease iff ``token`` is its live, unexpired token."""
+        lease = self._leases.get(tenant_id)
+        if lease is None or lease.token != token:
+            self.stats.stale_rejected += 1
+            return None
+        if not lease.valid_at(self.env.now):
+            # Too late: the holder must already be self-fencing.
+            self.stats.expired_renewals += 1
+            return None
+        lease.expires_at = self.env.now + self.ttl
+        self.stats.renewed += 1
+        return lease
+
+    def release(self, tenant_id: int, token: int) -> bool:
+        """Drop the lease after a clean completion or rollback."""
+        lease = self._leases.get(tenant_id)
+        if lease is None or lease.token != token:
+            return False
+        del self._leases[tenant_id]
+        self.stats.released += 1
+        return True
+
+    def outstanding(self) -> list[int]:
+        """Tenant ids with a lease still on the books (expired or not)."""
+        return sorted(self._leases)
+
+    def is_valid(self, tenant_id: int, token: int) -> bool:
+        lease = self._leases.get(tenant_id)
+        return (
+            lease is not None
+            and lease.token == token
+            and lease.valid_at(self.env.now)
+        )
+
+    # -- audit -------------------------------------------------------------
+
+    def record_commit(self, tenant_id: int, token: int) -> bool:
+        """Log a handover commit; returns False when it was invalid.
+
+        This is the omniscient check: the committing node only knows
+        its *local* lease view, but the audit log judges the commit
+        against the controller's ground truth.  A correct fencing
+        implementation never produces an invalid commit; the chaos
+        fuzzer asserts exactly that.
+        """
+        valid = self.is_valid(tenant_id, token)
+        self.commit_log.append(
+            CommitRecord(tenant_id=tenant_id, token=token, at=self.env.now, valid=valid)
+        )
+        if not valid:
+            self.stats.invalid_commits += 1
+        return valid
+
+    # -- fail-stop ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: stop answering renewals (leases silently run out)."""
+        self.alive = False
+
+    def restart(self) -> None:
+        self.alive = True
+
+
+class LeaseService:
+    """Bus-facing lease endpoint: answers renewals on ``endpoint_name``.
+
+    Owning a real endpoint means renewals pay NIC transfer time, suffer
+    drops and partitions, and show up in transport counters — the lease
+    protocol lives in the same failure domain as everything else.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bus,
+        manager: LeaseManager,
+        endpoint_name: str = "controller",
+    ):
+        self.env = env
+        self.manager = manager
+        self.endpoint = bus.endpoint(endpoint_name)
+        self.name = endpoint_name
+        self.renew_requests = 0
+        self.renew_refused = 0
+        self.reply_send_failures = 0
+        self._proc = env.process(self._lease_dispatch_loop())
+
+    def _lease_dispatch_loop(self):
+        """Dispatch loop for lease protocol messages."""
+        while True:
+            envelope = yield self.endpoint.receive()
+            message = envelope.message
+            if isinstance(message, LeaseRenewRequest):
+                if not self.manager.alive:
+                    # Crashed controller: renewals fall on deaf ears.
+                    continue
+                self.renew_requests += 1
+                lease = self.manager.renew(message.tenant_id, message.token)
+                if lease is None:
+                    self.renew_refused += 1
+                reply = LeaseRenewReply(
+                    tenant_id=message.tenant_id,
+                    token=message.token,
+                    ok=lease is not None,
+                    expires_at=lease.expires_at if lease is not None else 0.0,
+                )
+                try:
+                    yield from self.endpoint.send(envelope.sender, reply)
+                except DeliveryError:
+                    # Best-effort: a lost reply is indistinguishable
+                    # from a partition; the holder will retry or fence.
+                    self.reply_send_failures += 1
+            elif isinstance(message, LeaseRenewReply):
+                # A stray reply routed back at us: idempotently ignore.
+                pass

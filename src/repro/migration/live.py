@@ -165,6 +165,7 @@ class LiveMigration:
         max_delta_rounds: int = 8,
         pipeline_depth: int = 32,
         on_handover: Optional[Callable[[DatabaseEngine], None]] = None,
+        fence: Optional[Callable[[], bool]] = None,
         obs=None,
     ):
         if delta_threshold < 0:
@@ -182,6 +183,12 @@ class LiveMigration:
         self.max_delta_rounds = max_delta_rounds
         self.pipeline_depth = pipeline_depth
         self.on_handover = on_handover
+        #: Optional fencing gate, consulted once immediately before the
+        #: HANDOVER transition (the point of no return).  Returning
+        #: ``False`` aborts with a full rollback instead of freezing —
+        #: a node whose ownership lease has lapsed must never commit.
+        #: ``None`` (the default) keeps the run path byte-identical.
+        self.fence = fence
         #: Optional :class:`~repro.obs.Observability`; ``None`` keeps
         #: phase transitions free of span/metric work.
         self.obs = obs
@@ -435,6 +442,14 @@ class LiveMigration:
             self._abort_reason = reason
             self._rollback()
             raise MigrationAborted(reason) from None
+
+        # Fencing gate: the last instant ownership can be checked before
+        # the point of no return.  A lapsed lease means another node may
+        # already own the tenant — roll back instead of freezing.
+        if self.fence is not None and not self.fence():
+            self._abort_reason = self._abort_reason or "fencing check failed at handover"
+            self._rollback()
+            raise MigrationAborted(self._abort_reason)
 
         # Step 3: freeze-and-handover (sub-second; final delta unthrottled).
         # Point of no return: aborts are refused from here on, so the

@@ -1,0 +1,187 @@
+"""The seeded chaos fuzzer: plans, invariants, shrinking, reproducers."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core.config import CASE_STUDY
+from repro.experiments.chaos_fuzz import (
+    FUZZ_TASK,
+    _atoms,
+    _without,
+    fuzz_point,
+    fuzz_points,
+    generate_plan,
+    reproducer,
+    run,
+    shrink,
+)
+from repro.experiments.chaos_sweep import _plan_from_kwargs
+from repro.experiments.common import scaled_config
+
+#: The config every CLI/CI fuzz run uses at this scale and seed; the
+#: broken-fencing tests below rely on schedule 5's known violation.
+CFG = scaled_config(CASE_STUDY, 0.0625, 42)
+
+#: Schedule seed whose plan (with fencing disabled) is known to commit
+#: a handover under an expired lease — the fuzzer's self-test fixture.
+BROKEN_SEED = 5
+
+
+class TestPlanGeneration:
+    def test_plans_are_pure_functions_of_the_seed(self):
+        assert generate_plan(7) == generate_plan(7)
+        assert any(generate_plan(i) != generate_plan(0) for i in range(1, 6))
+
+    def test_generated_plans_are_valid_and_picklable(self):
+        for seed in range(30):
+            kwargs = generate_plan(seed)
+            plan = _plan_from_kwargs(
+                kwargs["messages"], kwargs["scheduled"], kwargs["partitions"]
+            )
+            pickle.dumps(kwargs)  # must cross the worker-pool boundary
+            for fault in plan.partitions:
+                names = {fault.src, fault.dst, fault.node} | {
+                    n for group in fault.groups for n in group
+                }
+                assert names <= {"", "source", "target", "controller"}
+
+    def test_source_never_crashes(self):
+        # A crashed source takes the migration driver down with it —
+        # that is the fleet healer's experiment, not a fuzzable fault.
+        for seed in range(60):
+            for fault in generate_plan(seed)["scheduled"]:
+                if fault["kind"] == "crash_node":
+                    assert fault["node"] == "target"
+
+    def test_fuzz_points_wrap_the_plans(self):
+        points = fuzz_points(3, scale=0.0625, seed=42, first_schedule=10)
+        assert [p.label for p in points] == [
+            "fuzz-0010", "fuzz-0011", "fuzz-0012",
+        ]
+        for point in points:
+            assert point.task == FUZZ_TASK
+            assert point.kwargs["schedule_seed"] >= 10
+            pickle.dumps(point.kwargs)
+
+
+class TestAtoms:
+    KWARGS = {
+        "messages": {"drop_prob": 0.1},
+        "scheduled": ({"at": 3.0, "kind": "abort_backup", "node": "source"},),
+        "partitions": (
+            {"at": 2.0, "duration": 1.0, "kind": "oneway",
+             "src": "source", "dst": "target"},
+        ),
+        "controller_down": (4.0, 2.0),
+    }
+
+    def test_every_fault_is_one_atom(self):
+        atoms = _atoms(
+            self.KWARGS["messages"],
+            self.KWARGS["scheduled"],
+            self.KWARGS["partitions"],
+            self.KWARGS["controller_down"],
+        )
+        assert atoms == [
+            ("messages", None),
+            ("scheduled", 0),
+            ("partitions", 0),
+            ("controller_down", None),
+        ]
+
+    def test_without_removes_exactly_one_atom(self):
+        out = _without(self.KWARGS, ("messages", None))
+        assert out["messages"] is None and out["scheduled"]
+        out = _without(self.KWARGS, ("scheduled", 0))
+        assert out["scheduled"] == () and out["messages"]
+        out = _without(self.KWARGS, ("controller_down", None))
+        assert out["controller_down"] is None
+        # The original is never mutated.
+        assert self.KWARGS["controller_down"] == (4.0, 2.0)
+
+
+class TestFuzzRuns:
+    def test_smoke_batch_holds_every_invariant(self):
+        records = run(schedules=12, scale=0.0625, seed=42)
+        assert len(records) == 12
+        for record in records.values():
+            assert record.ok, (record.label, record.violations)
+            assert record.outcome in ("completed", "aborted", "skipped")
+        # The space is genuinely adversarial: some schedules force the
+        # migration to roll back, others let it through.
+        outcomes = {r.outcome for r in records.values()}
+        assert "completed" in outcomes and "aborted" in outcomes
+
+    def test_replay_is_bit_identical(self):
+        kwargs = generate_plan(3)
+        first = fuzz_point(CFG, label="replay", schedule_seed=3, **kwargs)
+        second = fuzz_point(CFG, label="replay", schedule_seed=3, **kwargs)
+        assert first.fingerprint == second.fingerprint
+        assert first.counters == second.counters
+        assert first.sim_end == second.sim_end
+
+    def test_parallel_agrees_with_serial(self):
+        serial = run(schedules=4, scale=0.0625, seed=42)
+        parallel = run(schedules=4, scale=0.0625, seed=42, jobs=2)
+        assert {
+            label: r.fingerprint for label, r in serial.items()
+        } == {label: r.fingerprint for label, r in parallel.items()}
+
+
+class TestBrokenFencingSelfTest:
+    """The acceptance gate: a deliberately broken fencing check must be
+    caught by the invariant suite and shrunk to a minimized reproducer."""
+
+    def _broken_kwargs(self):
+        kwargs = dict(generate_plan(BROKEN_SEED))
+        kwargs["break_fencing"] = True
+        return kwargs
+
+    def test_violation_is_caught(self):
+        record = fuzz_point(
+            CFG, label="broken", schedule_seed=BROKEN_SEED, **self._broken_kwargs()
+        )
+        assert not record.ok
+        assert any("invalid lease token" in v for v in record.violations)
+        # The same schedule with fencing intact is healthy.
+        healthy = fuzz_point(
+            CFG, label="fixed", schedule_seed=BROKEN_SEED,
+            **generate_plan(BROKEN_SEED),
+        )
+        assert healthy.ok, healthy.violations
+
+    def test_shrinks_to_a_one_atom_reproducer(self):
+        kwargs = self._broken_kwargs()
+        minimal, record, runs = shrink(CFG, kwargs)
+        assert not record.ok
+        assert record.atoms == 1
+        assert runs >= 2  # at least the initial run plus one trial
+        # The surviving atom is the renewal-starving partition: the
+        # source->controller cut that lets the lease run out.
+        assert minimal["messages"] is None
+        assert minimal["scheduled"] == ()
+        [partition] = minimal["partitions"]
+        assert (partition["kind"], partition["src"], partition["dst"]) == (
+            "oneway", "source", "controller",
+        )
+
+    def test_shrink_refuses_a_healthy_plan(self):
+        with pytest.raises(ValueError, match="violating plan"):
+            shrink(CFG, dict(generate_plan(BROKEN_SEED)))
+
+    def test_reproducer_payload_replays(self):
+        kwargs = self._broken_kwargs()
+        record = fuzz_point(
+            CFG, label="broken", schedule_seed=BROKEN_SEED, **kwargs
+        )
+        minimal, min_record, _ = shrink(CFG, kwargs)
+        payload = reproducer(CFG, record, kwargs, minimal, min_record, 0.0625)
+        json.dumps(payload)  # must serialize as the CI artifact
+        assert payload["schedule_seed"] == BROKEN_SEED
+        assert payload["minimal_atoms"] == 1
+        assert payload["minimal_atoms"] <= payload["original_atoms"]
+        assert f"--first-schedule {BROKEN_SEED}" in payload["replay"]
+        assert payload["minimal_plan"]["break_fencing"] is True
+        assert payload["violations"] == list(min_record.violations)

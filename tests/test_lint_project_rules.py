@@ -1,4 +1,4 @@
-"""Project rules SLK101-SLK106, the runner, cache, SARIF, and CLI.
+"""Project rules SLK101-SLK107, the runner, cache, SARIF, and CLI.
 
 Each rule gets a minimal fixture tree that satisfies the invariant and
 a deliberately broken variant that must be caught — the gate is only
@@ -762,6 +762,128 @@ class TestSLK106PlacementLaunchPath:
         result = analyze_project([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)
         launches = [f for f in result.findings if f.rule == "SLK106"]
         assert launches == []
+
+
+_FENCING_PROTOCOL = """
+def register_message(cls):
+    return cls
+
+
+@register_message
+class MigrateRequest:
+    tenant_id: int = 0
+    token: int = 0
+
+
+@register_message
+class Heartbeat:
+    node: str = ""
+"""
+
+
+class TestSLK107FencingTokenRequired:
+    def test_tokenless_construction_is_flagged(self, tmp_path):
+        findings = project_findings(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/middleware/__init__.py": "",
+                "repro/middleware/protocol.py": _FENCING_PROTOCOL,
+                "repro/middleware/node.py": """
+                from .protocol import Heartbeat, MigrateRequest
+
+                def start(tenant_id):
+                    frame = MigrateRequest(tenant_id=tenant_id)
+                    beat = Heartbeat(node="a")
+                    return frame, beat
+                """,
+            },
+            rule="SLK107",
+        )
+        assert len(findings) == 1
+        assert "MigrateRequest" in findings[0].message
+        assert "fencing" in findings[0].message
+
+    def test_token_kwarg_satisfies_the_rule(self, tmp_path):
+        findings = project_findings(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/middleware/__init__.py": "",
+                "repro/middleware/protocol.py": _FENCING_PROTOCOL,
+                "repro/middleware/node.py": """
+                from .protocol import MigrateRequest
+
+                def start(tenant_id, token):
+                    return MigrateRequest(tenant_id=tenant_id, token=token)
+                """,
+            },
+            rule="SLK107",
+        )
+        assert findings == []
+
+    def test_kwargs_spread_is_trusted(self, tmp_path):
+        findings = project_findings(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/middleware/__init__.py": "",
+                "repro/middleware/protocol.py": _FENCING_PROTOCOL,
+                "repro/middleware/node.py": """
+                from .protocol import MigrateRequest
+
+                def replay(fields):
+                    return MigrateRequest(**fields)
+                """,
+            },
+            rule="SLK107",
+        )
+        assert findings == []
+
+    def test_outside_fencing_scope_is_exempt(self, tmp_path):
+        findings = project_findings(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/middleware/__init__.py": "",
+                "repro/middleware/protocol.py": _FENCING_PROTOCOL,
+                "repro/experiments/__init__.py": "",
+                "repro/experiments/driver.py": """
+                from repro.middleware.protocol import MigrateRequest
+
+                def probe(tenant_id):
+                    return MigrateRequest(tenant_id=tenant_id)
+                """,
+            },
+            rule="SLK107",
+        )
+        assert findings == []
+
+    def test_pragma_allows_legacy_constructor(self, tmp_path):
+        findings = project_findings(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/middleware/__init__.py": "",
+                "repro/middleware/protocol.py": _FENCING_PROTOCOL,
+                "repro/middleware/node.py": (
+                    "from .protocol import MigrateRequest\n"
+                    "\n"
+                    "def legacy(tenant_id):\n"
+                    "    return MigrateRequest(  # slackerlint: disable=SLK107\n"
+                    "        tenant_id=tenant_id\n"
+                    "    )\n"
+                ),
+            },
+            rule="SLK107",
+        )
+        assert findings == []
+
+    def test_real_migration_tree_is_clean(self):
+        """Every shipped migration-scope frame already carries token=."""
+        result = analyze_project([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)
+        unfenced = [f for f in result.findings if f.rule == "SLK107"]
+        assert unfenced == []
 
 
 class TestTiming:
