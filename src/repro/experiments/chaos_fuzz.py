@@ -228,6 +228,7 @@ def fuzz_point(
     suspect_grace: float = 2.0,
     lease_ttl: float = 4.0,
     break_fencing: bool = False,
+    fluid_chunks: int = 0,
     observe: bool = False,
 ) -> FuzzRecord:
     """One fuzzed schedule: leased cluster + random plan + invariants.
@@ -240,7 +241,9 @@ def fuzz_point(
     self-fence).  ``break_fencing=True`` disables the self-fence gate
     on every node — the deliberate bug the fuzzer must catch and
     shrink; it is only ever set by tests and the ``--break-fencing``
-    demonstration flag.
+    demonstration flag.  ``fluid_chunks > 0`` migrates through the
+    fluid chunked path instead of live, adding the exactly-once
+    chunk-ownership battery to the checked invariants.
     """
     plan = _plan_from_kwargs(messages, tuple(scheduled), tuple(partitions))
     streams = RandomStreams(config.seed)
@@ -285,7 +288,8 @@ def fuzz_point(
         cluster, setpoint=setpoint, ledger=ledger, cooldown=0.0, obs=obs
     )
     proposal = MigrationProposal(
-        tenant_id=1, source="source", target="target", reason="chaos-fuzz"
+        tenant_id=1, source="source", target="target", reason="chaos-fuzz",
+        chunks=fluid_chunks,
     )
 
     def driver():
@@ -302,8 +306,12 @@ def fuzz_point(
         outcome = "wedged"
     client.stop()
 
+    fluid_migration = source.last_fluid_migration if fluid_chunks else None
     violations = _check_invariants(
-        outcome, cluster, tenant, source_engine, client, trace
+        outcome, cluster, tenant, source_engine, client, trace,
+        # A wedged run is mid-flight by definition; the fluid battery's
+        # terminal-state checks only apply once the migration resolved.
+        fluid_migration=fluid_migration if outcome != "wedged" else None,
     )
     # The fuzzer's extra surface: the budget ledger must be whole again.
     leaked = ledger.reservations()
@@ -331,6 +339,16 @@ def fuzz_point(
         source.stats.duplicates_ignored + target.stats.duplicates_ignored
     )
     counters["budget_events"] = len(ledger.history)
+    if fluid_migration is not None:
+        # Only present when fluid is on, so legacy fingerprints are
+        # untouched.
+        counters["fluid_chunk_flips"] = fluid_migration.chunk_map.flips
+        counters["fluid_stale_flips_rejected"] = (
+            fluid_migration.chunk_map.stale_flips_rejected
+        )
+        counters["fluid_writes_to_target"] = fluid_migration.router.writes_to_target
+        counters["fluid_cross_hops"] = fluid_migration.router.cross_hops
+        counters["fluid_foreign_serves"] = fluid_migration.router.foreign_serves
     counter_pairs = tuple(sorted(counters.items()))
 
     series = trace.series("tenant-1")
@@ -369,6 +387,7 @@ def fuzz_points(
     seed: Optional[int] = None,
     first_schedule: int = 0,
     break_fencing: bool = False,
+    fluid_chunks: int = 0,
 ) -> list[SweepPoint]:
     """One sweep point per schedule seed, plans pre-expanded in the parent."""
     cfg = scaled_config(config or CASE_STUDY, scale, seed)
@@ -386,6 +405,8 @@ def fuzz_points(
                     "label": label,
                     "schedule_seed": schedule_seed,
                     "break_fencing": break_fencing,
+                    # omitted when 0 so legacy points keep their cache keys
+                    **({"fluid_chunks": fluid_chunks} if fluid_chunks else {}),
                     **kwargs,
                 },
             )
@@ -401,6 +422,7 @@ def run(
     first_schedule: int = 0,
     jobs: int = 1,
     break_fencing: bool = False,
+    fluid_chunks: int = 0,
     pool=None,
 ) -> dict[str, FuzzRecord]:
     """Fuzz ``schedules`` seeded plans; records keyed by label."""
@@ -413,6 +435,7 @@ def run(
             seed=seed,
             first_schedule=first_schedule,
             break_fencing=break_fencing,
+            fluid_chunks=fluid_chunks,
         )
     )
 
@@ -556,6 +579,14 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - CLI
         help="disable self-fencing on every node: the deliberate bug "
         "the fuzzer must catch (demonstration / CI self-test)",
     )
+    parser.add_argument(
+        "--fluid-chunks",
+        type=int,
+        default=0,
+        help="migrate through the fluid chunked path with this many "
+        "chunks (0 = live migration), adding the exactly-once "
+        "chunk-ownership battery to the checked invariants",
+    )
     parser.add_argument("--out", type=str, default=None, help="write JSON report")
     parser.add_argument(
         "--repro-out",
@@ -573,6 +604,7 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - CLI
         first_schedule=args.first_schedule,
         jobs=args.jobs,
         break_fencing=args.break_fencing,
+        fluid_chunks=args.fluid_chunks,
     )
 
     outcomes: dict[str, int] = {}
@@ -588,6 +620,8 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - CLI
     for label, rec in sorted(failures.items()):
         kwargs = dict(generate_plan(rec.schedule_seed))
         kwargs["break_fencing"] = args.break_fencing
+        if args.fluid_chunks:
+            kwargs["fluid_chunks"] = args.fluid_chunks
         minimal, min_rec, runs = shrink(cfg, kwargs)
         payload = reproducer(cfg, rec, kwargs, minimal, min_rec, args.scale)
         repros[label] = payload

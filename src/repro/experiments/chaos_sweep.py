@@ -47,6 +47,7 @@ from ..faults import (
     ScheduledFault,
 )
 from ..middleware.tenant import TenantStatus
+from ..migration.fluid import check_fluid_invariants
 from ..migration.live import MigrationAborted
 from ..obs import Observability, RunReport
 from ..parallel import SweepPoint, SweepRunner
@@ -230,7 +231,8 @@ def chaos_point(
 
 
 def _check_invariants(
-    outcome: str, cluster, tenant, source_engine, client, trace
+    outcome: str, cluster, tenant, source_engine, client, trace,
+    fluid_migration=None,
 ) -> list[str]:
     violations: list[str] = []
     if outcome == "wedged":
@@ -290,6 +292,12 @@ def _check_invariants(
             violations.append(
                 f"leases still held after terminal state: {held}"
             )
+
+    if fluid_migration is not None:
+        # Chunked handover adds its own surface: every chunk owned
+        # exactly once, no page ever served by a non-owner, write
+        # accounting conserved across the dual-resident window.
+        violations.extend(check_fluid_invariants(fluid_migration))
     return violations
 
 

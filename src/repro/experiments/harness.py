@@ -22,11 +22,13 @@ from ..core.config import ExperimentConfig
 from ..middleware.cluster import SlackerCluster
 from ..middleware.node import NodeConfig
 from ..migration.live import LiveMigrationResult
+from ..migration.on_demand import OnDemandMigration
 from ..migration.stop_and_copy import (
     DumpReimportMigration,
     StopAndCopyMigration,
     StopAndCopyResult,
 )
+from ..migration.throttle import Throttle
 from ..obs import Observability, RunReport
 from ..simulation import Environment, RandomStreams, Series, Trace
 from ..workload.client import BenchmarkClient
@@ -58,23 +60,39 @@ __all__ = [
 class MigrationSpec:
     """What migration (if any) an experiment performs."""
 
-    #: "none", "fixed", "dynamic", "stop-and-copy", or "dump-reimport".
+    #: "none", "fixed", "dynamic", "stop-and-copy", "dump-reimport",
+    #: "fluid", or "on-demand".
     kind: str = "none"
-    #: Fixed throttle rate, bytes/second (kind="fixed"/"stop-and-copy").
+    #: Fixed throttle rate, bytes/second (kind="fixed"/"stop-and-copy"/
+    #: "fluid"; for "on-demand" it meters the background push).
     rate: Optional[float] = None
     #: Latency setpoint, seconds (kind="dynamic").
     setpoint: Optional[float] = None
     #: Override for the 100 %-output rate (kind="dynamic").
     max_rate: Optional[float] = None
+    #: Number of chunks for kind="fluid" (0 = module default).
+    chunks: int = 0
 
     def __post_init__(self) -> None:
-        kinds = ("none", "fixed", "dynamic", "stop-and-copy", "dump-reimport")
+        kinds = (
+            "none",
+            "fixed",
+            "dynamic",
+            "stop-and-copy",
+            "dump-reimport",
+            "fluid",
+            "on-demand",
+        )
         if self.kind not in kinds:
             raise ValueError(f"kind must be one of {kinds}, got {self.kind!r}")
         if self.kind == "fixed" and (self.rate is None or self.rate <= 0):
             raise ValueError("fixed migration needs a positive rate")
         if self.kind == "dynamic" and (self.setpoint is None or self.setpoint <= 0):
             raise ValueError("dynamic migration needs a positive setpoint")
+        if self.kind == "fluid" and (self.rate is None or self.rate <= 0):
+            raise ValueError("fluid migration needs a positive rate")
+        if self.kind == "on-demand" and self.rate is not None and self.rate <= 0:
+            raise ValueError("on-demand push rate must be positive when set")
 
     @classmethod
     def none(cls) -> "MigrationSpec":
@@ -89,6 +107,14 @@ class MigrationSpec:
         cls, setpoint: float, max_rate: Optional[float] = None
     ) -> "MigrationSpec":
         return cls(kind="dynamic", setpoint=setpoint, max_rate=max_rate)
+
+    @classmethod
+    def fluid(cls, rate: float, chunks: int = 0) -> "MigrationSpec":
+        return cls(kind="fluid", rate=rate, chunks=chunks)
+
+    @classmethod
+    def on_demand(cls, rate: Optional[float] = None) -> "MigrationSpec":
+        return cls(kind="on-demand", rate=rate)
 
 
 @dataclass(frozen=True)
@@ -313,6 +339,34 @@ def _run_migration_spec(cluster, spec, tenant_id, config):
                 max_rate=spec.max_rate or config.max_migration_rate,
             )
         )
+        return result
+    if spec.kind == "fluid":
+        result = yield cluster.env.process(
+            source.migrate_tenant(
+                tenant_id,
+                "target",
+                fixed_rate=spec.rate,
+                chunks=spec.chunks or 16,
+            )
+        )
+        return result
+    if spec.kind == "on-demand":
+        tenant = source.registry.get(tenant_id)
+        throttle = (
+            Throttle(cluster.env, rate=spec.rate) if spec.rate else None
+        )
+        migration = OnDemandMigration(
+            cluster.env,
+            tenant.engine,
+            cluster.node("target").server,
+            push_throttle=throttle,
+            on_switch=lambda target: setattr(tenant, "engine", target),
+        )
+        try:
+            result = yield cluster.env.process(migration.run())
+        finally:
+            if throttle is not None:
+                throttle.stop()
         return result
     if spec.kind in ("stop-and-copy", "dump-reimport"):
         tenant = source.registry.get(tenant_id)

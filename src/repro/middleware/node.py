@@ -48,6 +48,7 @@ from ..control.window import DEFAULT_WINDOW, LatencyWindow
 from ..db.engine import DatabaseEngine
 from ..db.pages import TableLayout
 from ..migration.controller import ControllerConfig, DynamicThrottleController
+from ..migration.fluid import FluidMigration
 from ..migration.live import LiveMigration, LiveMigrationResult, MigrationAborted
 from ..migration.throttle import Throttle
 from ..resources.server import Server
@@ -55,6 +56,8 @@ from ..resources.units import MB
 from ..simulation import Environment, Event, Interrupt, PeriodicTicker, Series, Trace
 from .frontend import Frontend
 from .protocol import (
+    ChunkHandover,
+    ChunkOwnership,
     CreateTenantReply,
     CreateTenantRequest,
     DeleteTenantReply,
@@ -204,8 +207,19 @@ class SlackerNode:
         #: tenant_id -> fencing token of this node's in-flight
         #: outgoing migration.
         self._lease_tokens: dict[int, int] = {}
-        #: tenant_id -> in-flight *outgoing* LiveMigration.
+        #: tenant_id -> in-flight *outgoing* LiveMigration (or
+        #: FluidMigration — same abort/target_server surface).
         self.active_migrations: dict[int, LiveMigration] = {}
+        #: Most recent outgoing FluidMigration (kept past completion so
+        #: chaos harnesses can audit its chunk-ownership invariants).
+        self.last_fluid_migration: Optional[FluidMigration] = None
+        #: tenant_id -> (version, node, port) from TenantLocationUpdate
+        #: frames (the node's subscriber-side routing cache).
+        self.tenant_locations: dict[int, tuple] = {}
+        #: (tenant_id, chunk_index) -> node from ChunkOwnership frames.
+        self.chunk_locations: dict[tuple, str] = {}
+        #: tenant_id -> chunk indices announced via ChunkHandover.
+        self.chunk_handovers: dict[int, set] = {}
         #: tenant_id -> latency Series attached by workload clients.
         self._latency_series: dict[int, Series] = {}
         self._pending_accepts: dict[int, Event] = {}
@@ -325,18 +339,24 @@ class SlackerNode:
         setpoint: Optional[float] = None,
         fixed_rate: Optional[float] = None,
         max_rate: Optional[float] = None,
+        chunks: Optional[int] = None,
     ):
         """Process: migrate a tenant to the named peer node.
 
         Exactly one of ``setpoint`` (dynamic PID throttle, seconds) or
-        ``fixed_rate`` (bytes/second) must be given.  Returns the
-        :class:`LiveMigrationResult`; raises :class:`MigrationAborted`
-        when the migration is cancelled (undeliverable request, accept
-        timeout, dead target, injected abort, ...), in which case the
-        tenant is back to plain ``ACTIVE`` at the source.
+        ``fixed_rate`` (bytes/second) must be given.  With ``chunks``
+        set the data plane is a :class:`FluidMigration` (per-chunk
+        handovers, dual-resident routing) instead of a single-handover
+        :class:`LiveMigration`.  Returns the migration result; raises
+        :class:`MigrationAborted` when the migration is cancelled
+        (undeliverable request, accept timeout, dead target, injected
+        abort, ...), in which case the tenant is back to plain
+        ``ACTIVE`` at the source.
         """
         if (setpoint is None) == (fixed_rate is None):
             raise ValueError("give exactly one of setpoint or fixed_rate")
+        if chunks is not None and chunks < 1:
+            raise ValueError(f"chunks must be >= 1, got {chunks}")
         if not self.alive:
             raise RuntimeError(f"node {self.name} is down")
         tenant = self.registry.get(tenant_id)
@@ -370,6 +390,7 @@ class SlackerNode:
             setpoint=setpoint or 0.0,
             fixed_rate=fixed_rate or 0.0,
             token=token,
+            chunks=chunks or 0,
         )
         try:
             yield self.env.process(self.endpoint.send(target, request))
@@ -402,16 +423,38 @@ class SlackerNode:
         if self.lease_manager is not None and self.fencing_enabled:
             fence = lambda: self.env.now < self._lease_expiry.get(tenant_id, 0.0)
         throttle = Throttle(self.env, rate=fixed_rate or 0.0)
-        migration = LiveMigration(
-            self.env,
-            tenant.engine,
-            peer.server,
-            throttle,
-            chunk_bytes=self.config.chunk_bytes,
-            on_handover=lambda engine: self._handover(tenant, peer, engine),
-            fence=fence,
-            obs=self.obs,
-        )
+        source_engine = tenant.engine
+        if chunks:
+            migration = FluidMigration(
+                self.env,
+                source_engine,
+                peer.server,
+                throttle,
+                num_chunks=chunks,
+                chunk_bytes=self.config.chunk_bytes,
+                on_handover=lambda engine: self._handover(tenant, peer, engine),
+                fence=fence,
+                token=token,
+                obs=self.obs,
+            )
+            migration.on_chunk_flip = self._chunk_flip_notifier(
+                migration, tenant_id, target, token
+            )
+            self.last_fluid_migration = migration
+            # Dual-resident window opens: requests route per chunk.
+            tenant.engine = migration.router
+            self.frontend.begin_chunked(tenant_id, migration.num_chunks, self.name)
+        else:
+            migration = LiveMigration(
+                self.env,
+                source_engine,
+                peer.server,
+                throttle,
+                chunk_bytes=self.config.chunk_bytes,
+                on_handover=lambda engine: self._handover(tenant, peer, engine),
+                fence=fence,
+                obs=self.obs,
+            )
         self.active_migrations[tenant_id] = migration
         migration_proc = self.env.process(migration.run())
         renew_proc = None
@@ -465,9 +508,17 @@ class SlackerNode:
 
         try:
             result = yield migration_proc
+            if chunks:
+                # Single-homed again: the handover installed the target
+                # engine; the per-chunk directory window closes.
+                self.frontend.end_chunked(tenant_id)
         except MigrationAborted:
-            # LiveMigration rolled the engines back; restore the
+            # The migration rolled the engines back; restore the
             # control-plane view: the tenant is plain ACTIVE here.
+            if chunks:
+                if tenant.engine is migration.router:
+                    tenant.engine = source_engine
+                self.frontend.end_chunked(tenant_id)
             if tenant_id in self.registry:
                 tenant.status = TenantStatus.ACTIVE
             self.stats.migrations_aborted += 1
@@ -501,6 +552,35 @@ class SlackerNode:
         self.stats.migrations_out += 1
         self.stats.completed.append(result)
         return result
+
+    def _chunk_flip_notifier(
+        self, migration: FluidMigration, tenant_id: int, target: str, token: int
+    ):
+        """Build the per-chunk-flip hook a fluid migration runs.
+
+        Runs on the migration path right after each ownership flip:
+        records the new owner in the frontend's per-chunk map (which
+        broadcasts ``ChunkOwnership`` to subscribers) and announces the
+        handover to the target node.  The announcement is best-effort —
+        ownership already committed in the source-side chunk map, and a
+        partition here starves lease renewals (aborting the migration)
+        rather than losing a flip.
+        """
+
+        def notify(chunk_index: int, delta_bytes: int):
+            self.frontend.update_chunk_location(
+                tenant_id, chunk_index, target, token=token
+            )
+            handover = ChunkHandover(
+                tenant_id=tenant_id,
+                chunk_index=chunk_index,
+                num_chunks=migration.num_chunks,
+                delta_bytes=delta_bytes,
+                token=token,
+            )
+            yield from self._send_tolerant(target, handover)
+
+        return notify
 
     def _abandon_request(self, tenant: Tenant, reason: str):
         """Roll back a migration that died before the data plane started."""
@@ -875,7 +955,35 @@ class SlackerNode:
                 # shadow the live migration's bookkeeping.
                 self.check_fence(message.tenant_id, message.token)
             elif isinstance(message, TenantLocationUpdate):
-                pass  # informational
+                # Subscriber-side routing cache.  Versions are monotonic
+                # per tenant; an older (reordered or re-synced) frame
+                # must not roll the cache back to a stale location.
+                known = self.tenant_locations.get(message.tenant_id)
+                if known is not None and message.version < known[0]:
+                    self.stats.duplicates_ignored += 1
+                else:
+                    self.tenant_locations[message.tenant_id] = (
+                        message.version,
+                        message.node,
+                        message.port,
+                    )
+            elif isinstance(message, ChunkHandover):
+                # Target-side record of a fluid chunk flip.  A stale
+                # fencing token is a superseded migration still talking:
+                # rejected (and counted) by check_fence.
+                if self.check_fence(message.tenant_id, message.token):
+                    seen = self.chunk_handovers.setdefault(message.tenant_id, set())
+                    if message.chunk_index in seen:
+                        self.stats.duplicates_ignored += 1
+                    else:
+                        seen.add(message.chunk_index)
+            elif isinstance(message, ChunkOwnership):
+                # Subscriber-side per-chunk routing cache (the fluid
+                # analogue of the TenantLocationUpdate arm above).
+                if self.check_fence(message.tenant_id, message.token):
+                    self.chunk_locations[
+                        (message.tenant_id, message.chunk_index)
+                    ] = message.node
             elif isinstance(message, Heartbeat):
                 self.peer_loads[message.node] = message
                 self._peer_last_seen[message.node] = self.env.now

@@ -40,6 +40,8 @@ __all__ = [
     "Heartbeat",
     "LeaseRenewRequest",
     "LeaseRenewReply",
+    "ChunkHandover",
+    "ChunkOwnership",
 ]
 
 T = TypeVar("T")
@@ -310,6 +312,9 @@ class MigrateTenantRequest:
     #: Fencing token of the migration's ownership lease (0 = unfenced
     #: legacy frame; omitted from the wire so legacy bytes are stable).
     token: int = pfield(5, default=0, omit_default=True)
+    #: Number of fluid chunks (0 = classic single-handover migration;
+    #: omitted from the wire so legacy bytes are stable).
+    chunks: int = pfield(6, default=0, omit_default=True)
 
 
 @register_message
@@ -348,6 +353,10 @@ class TenantLocationUpdate:
     tenant_id: int = pfield(1)
     node: str = pfield(2)
     port: int = pfield(3)
+    #: Monotonic per-tenant version so receivers can discard reordered
+    #: or re-synced duplicates (0 = legacy unversioned frame; omitted
+    #: from the wire so legacy bytes are stable).
+    version: int = pfield(4, default=0, omit_default=True)
 
 
 @register_message
@@ -387,3 +396,44 @@ class LeaseRenewReply:
     token: int = pfield(2)
     ok: bool = pfield(3, default=True)
     expires_at: float = pfield(4, default=0.0)
+
+
+@register_message
+@dataclass(frozen=True)
+class ChunkHandover:
+    """Source → target: ownership of one fluid chunk has flipped.
+
+    Sent on the migration path after the per-chunk freeze + delta, so a
+    partition here slows (and eventually aborts, via lease starvation)
+    the migration rather than losing a flip silently: the authoritative
+    ownership record is the source-side :class:`~repro.migration.fluid.
+    ChunkMap`, and this frame merely informs the target.
+    """
+
+    MSG_ID: ClassVar[int] = 12
+    tenant_id: int = pfield(1)
+    chunk_index: int = pfield(2)
+    num_chunks: int = pfield(3)
+    #: Write-delta bytes shipped during this chunk's freeze window.
+    delta_bytes: int = pfield(4, default=0)
+    #: Fencing token of the migration's ownership lease (0 = unfenced
+    #: legacy frame); receivers reject stale tokens (SLK107).
+    token: int = pfield(5, default=0, omit_default=True)
+
+
+@register_message
+@dataclass(frozen=True)
+class ChunkOwnership:
+    """Frontend broadcast: chunk ``chunk_index`` now lives on ``node``.
+
+    The per-chunk analogue of :class:`TenantLocationUpdate`, pushed to
+    subscribers while a fluid migration has the tenant dual-resident.
+    """
+
+    MSG_ID: ClassVar[int] = 13
+    tenant_id: int = pfield(1)
+    chunk_index: int = pfield(2)
+    node: str = pfield(3)
+    port: int = pfield(4)
+    #: Fencing token under which the flip committed (0 = unfenced).
+    token: int = pfield(5, default=0, omit_default=True)

@@ -2,6 +2,15 @@
 and the PID-driven dynamic throttle controller."""
 
 from .controller import ControllerConfig, DynamicThrottleController, LatencyController
+from .fluid import (
+    ChunkMap,
+    ChunkState,
+    FluidMigration,
+    FluidMigrationResult,
+    FluidPhase,
+    FluidRouter,
+    check_fluid_invariants,
+)
 from .lease import Lease, LeaseManager, LeaseService
 from .live import (
     DeltaRound,
@@ -26,12 +35,19 @@ from .throttle import Throttle, ThrottleStats
 
 __all__ = [
     "AdditiveSlackModel",
+    "ChunkMap",
+    "ChunkState",
     "ControllerConfig",
     "DeltaRound",
     "DumpReimportMigration",
     "DynamicThrottleController",
     "EmpiricalSlackEstimator",
+    "FluidMigration",
+    "FluidMigrationResult",
+    "FluidPhase",
+    "FluidRouter",
     "LatencyController",
+    "check_fluid_invariants",
     "Lease",
     "LeaseManager",
     "LeaseService",

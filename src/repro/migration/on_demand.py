@@ -55,14 +55,21 @@ class PartialReplicaEngine(DatabaseEngine):
         self.present: set[int] = set()
         self.remote_fetches = 0
         self.remote_fetch_time = 0.0
+        #: Pulls that paid the transfer only to find the page had been
+        #: delivered (by the pusher) while they were in flight.
+        self.redundant_fetches = 0
+        #: When the last page arrived (by pull or push).
+        self.completed_at: Optional[float] = None
 
     @property
     def pages_missing(self) -> int:
         return self.layout.num_pages - len(self.present)
 
     def mark_present(self, page_id: int) -> None:
-        """Record that the background pusher delivered ``page_id``."""
+        """Record that ``page_id`` arrived (pull or background push)."""
         self.present.add(page_id)
+        if self.completed_at is None and len(self.present) == self.layout.num_pages:
+            self.completed_at = self.env.now
 
     def _access_page(self, txn: Transaction, page_id: int, write: bool) -> Generator:
         if page_id not in self.present:
@@ -71,9 +78,15 @@ class PartialReplicaEngine(DatabaseEngine):
             yield from self.source.server.disk.read(PAGE_SIZE)
             yield from self.source.server.nic_out.transfer(PAGE_SIZE)
             yield from self.server.disk.write(PAGE_SIZE)
-            self.present.add(page_id)
-            self.remote_fetches += 1
             self.remote_fetch_time += self.env.now - started
+            if page_id not in self.present:
+                self.mark_present(page_id)
+                self.remote_fetches += 1
+            else:
+                # The pusher delivered it while our transfer was in
+                # flight: the latency was paid, but the page must only
+                # be counted once for conservation.
+                self.redundant_fetches += 1
         yield from super()._access_page(txn, page_id, write)
 
 
@@ -140,6 +153,11 @@ class OnDemandMigration:
                 continue
             if self.push_throttle is not None:
                 yield from self.push_throttle.acquire(PAGE_SIZE)
+            if page_id in target.present:
+                # A pull delivered the page while we were queued on the
+                # throttle: re-check *before* paying the source read and
+                # the wire, or the page's transfer is billed twice.
+                continue
             yield from self.source.server.disk.read(
                 PAGE_SIZE, sequential=True, stream=stream
             )
@@ -149,6 +167,8 @@ class OnDemandMigration:
             yield from self.target_server.disk.write(
                 PAGE_SIZE, sequential=True, stream=stream
             )
+            if page_id in target.present:
+                continue  # a pull won during our local write
             target.mark_present(page_id)
             pushed += 1
         return pushed
@@ -179,11 +199,17 @@ class OnDemandMigration:
         # 3. Background push until every page has moved.
         pushed = yield self.env.process(self._background_pusher(self.target))
 
+        # The migration is over when the *last page arrived* — a pull
+        # can complete the set while the pusher is still scanning past
+        # already-present pages, so the pusher's return time overstates.
+        finished_at = self.target.completed_at
+        if finished_at is None:
+            finished_at = self.env.now
         return OnDemandMigrationResult(
             tenant=self.source.name,
             started_at=started_at,
             switched_at=switched_at,
-            finished_at=self.env.now,
+            finished_at=finished_at,
             remote_fetches=self.target.remote_fetches,
             pushed_pages=pushed,
             target=self.target,

@@ -23,8 +23,11 @@ from typing import Optional
 
 from ..experiments.harness import ExperimentOutcome, MigrationSpec, PooledLatencyStats
 from ..core.config import ExperimentConfig
+from ..migration.fluid import FluidMigrationResult
+from ..migration.on_demand import OnDemandMigrationResult
 from ..migration.stop_and_copy import StopAndCopyResult
 from ..obs import RunReport
+from ..resources.units import PAGE_SIZE
 from ..simulation import Series
 
 __all__ = ["MigrationRecord", "TenantRecord", "PointRecord"]
@@ -34,7 +37,7 @@ __all__ = ["MigrationRecord", "TenantRecord", "PointRecord"]
 class MigrationRecord:
     """Scalar summary of a migration result, detached from the engines."""
 
-    #: "live", "stop-and-copy", or "dump-reimport".
+    #: "live", "stop-and-copy", "dump-reimport", "fluid", or "on-demand".
     kind: str
     #: End-to-end migration time, seconds.
     duration: float
@@ -47,10 +50,15 @@ class MigrationRecord:
     #: Live-migration detail: snapshot volume and delta-round count.
     snapshot_bytes: int = 0
     delta_rounds: int = 0
+    #: Fluid-migration detail: chunk count and summed freeze time.
+    num_chunks: int = 0
+    total_freeze_time: float = 0.0
+    #: On-demand detail: pages pulled remotely inside transactions.
+    remote_fetches: int = 0
 
     @classmethod
     def from_result(cls, result) -> "MigrationRecord":
-        """Summarize a live or stop-and-copy migration result."""
+        """Summarize any migration-result flavor into plain scalars."""
         if isinstance(result, StopAndCopyResult):
             duration = result.duration
             return cls(
@@ -59,6 +67,29 @@ class MigrationRecord:
                 downtime=result.downtime,
                 total_bytes=result.bytes_copied,
                 average_rate=result.bytes_copied / max(duration, 1e-9),
+            )
+        if isinstance(result, FluidMigrationResult):
+            return cls(
+                kind="fluid",
+                duration=result.duration,
+                downtime=result.downtime,
+                total_bytes=result.total_bytes,
+                average_rate=result.average_rate,
+                num_chunks=result.num_chunks,
+                total_freeze_time=result.total_freeze_time,
+            )
+        if isinstance(result, OnDemandMigrationResult):
+            duration = result.duration
+            total_bytes = (
+                result.remote_fetches + result.pushed_pages
+            ) * PAGE_SIZE
+            return cls(
+                kind="on-demand",
+                duration=duration,
+                downtime=result.switch_latency,
+                total_bytes=total_bytes,
+                average_rate=total_bytes / max(duration, 1e-9),
+                remote_fetches=result.remote_fetches,
             )
         return cls(
             kind="live",

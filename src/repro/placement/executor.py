@@ -278,7 +278,10 @@ class WaveExecutor:
         try:
             result = yield env.process(
                 source.migrate_tenant(
-                    proposal.tenant_id, proposal.target, setpoint=self.setpoint
+                    proposal.tenant_id,
+                    proposal.target,
+                    setpoint=self.setpoint,
+                    chunks=proposal.chunks or None,
                 )
             )
         except MigrationAborted:
@@ -387,7 +390,10 @@ class WaveExecutor:
         try:
             result = yield env.process(
                 source.migrate_tenant(
-                    proposal.tenant_id, proposal.target, setpoint=effective
+                    proposal.tenant_id,
+                    proposal.target,
+                    setpoint=effective,
+                    chunks=proposal.chunks or None,
                 )
             )
         except MigrationAborted:

@@ -44,6 +44,8 @@ class MigrationProposal:
     source: str
     target: str
     reason: str
+    #: Fluid chunk count; 0 = whole-tenant live migration.
+    chunks: int = 0
 
 
 class HotspotDetector(Protocol):

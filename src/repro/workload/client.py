@@ -42,6 +42,10 @@ def _resolve_engine(target):
     engine = getattr(target, "engine", None)
     if isinstance(engine, DatabaseEngine):
         return engine
+    # A duck-typed executor installed as a tenant's engine — e.g. the
+    # fluid migration's dual-resident router — is followed the same way.
+    if engine is not None and callable(getattr(engine, "execute", None)):
+        return engine
     if callable(getattr(target, "execute", None)):
         return target
     raise TypeError(f"{target!r} is neither an engine nor a tenant")

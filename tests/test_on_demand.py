@@ -84,6 +84,36 @@ class TestOnDemandMigration:
             engine.layout.num_pages
         )
 
+    @pytest.mark.parametrize("push_rate_mb", [2, 8, 32])
+    def test_page_transfer_conservation(self, push_rate_mb):
+        """Every page crosses the wire exactly once on *some* path.
+
+        Regression for the pusher double-billing pages the pull path
+        had already fetched: a push that loses the race is counted as
+        redundant, never as a pushed page, so the pushed/pulled split
+        always sums to the page count.
+        """
+        env = Environment()
+        streams = RandomStreams(11)
+        src, dst, engine, handle, client, trace = build(env, streams, rate=4.0)
+        result = run_on_demand(
+            env, engine, dst, handle, push_rate_mb=push_rate_mb
+        )
+        assert (
+            result.pushed_pages + result.remote_fetches
+            == engine.layout.num_pages
+        )
+        # Races still happen; they land in the redundant bucket only.
+        assert result.target.redundant_fetches >= 0
+        assert result.target.pages_missing == 0
+
+    def test_finished_at_is_last_page_arrival(self, env, streams):
+        src, dst, engine, handle, client, trace = build(env, streams)
+        result = run_on_demand(env, engine, dst, handle, push_rate_mb=8)
+        assert result.finished_at == result.target.completed_at
+        assert result.finished_at >= result.switched_at
+        assert result.duration > 0
+
     def test_no_transactions_lost(self, env, streams):
         src, dst, engine, handle, client, trace = build(env, streams)
         run_on_demand(env, engine, dst, handle, push_rate_mb=8)

@@ -70,7 +70,7 @@ class TestZigzag:
 
 class TestMessages:
     def test_registry_has_all_messages(self):
-        assert len(MESSAGE_REGISTRY) == 11
+        assert len(MESSAGE_REGISTRY) == 13
         assert MESSAGE_REGISTRY[1] is CreateTenantRequest
 
     def test_roundtrip_every_message_type(self):
